@@ -1,0 +1,38 @@
+// Tiny --key=value flag parsing for benchmark binaries.
+
+#ifndef BENCH_BENCH_FLAGS_H_
+#define BENCH_BENCH_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace diffusion {
+namespace bench {
+
+// Returns the value of "--name=..." from argv, or `fallback`.
+inline int64_t IntFlag(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoll(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string plain = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (plain == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bench
+}  // namespace diffusion
+
+#endif  // BENCH_BENCH_FLAGS_H_

@@ -1,0 +1,81 @@
+// Figure 11 (google-benchmark form): two-way matching microbenchmark over
+// the Figure-10 attribute sets, swept from 6 to 30 attributes in Set B for
+// all four series. See fig11_matching_table for the paper-style table.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/animal.h"
+#include "src/naming/matching.h"
+#include "src/util/rng.h"
+
+namespace diffusion {
+namespace {
+
+void Shuffle(AttributeVector* attrs, Rng* rng) {
+  for (size_t i = attrs->size(); i > 1; --i) {
+    std::swap((*attrs)[i - 1],
+              (*attrs)[static_cast<size_t>(rng->NextInt(0, static_cast<int64_t>(i) - 1))]);
+  }
+}
+
+AttributeVector MakeSetB(size_t attrs, SetGrowth growth, bool matching, Rng* rng) {
+  AttributeVector set_b = GrowSetB(attrs, growth);
+  if (!matching) {
+    set_b = MakeNoMatch(set_b);
+  }
+  Shuffle(&set_b, rng);
+  return set_b;
+}
+
+void RunMatchBenchmark(benchmark::State& state, SetGrowth growth, bool matching) {
+  Rng rng(99);
+  AttributeVector set_a = AnimalInterestSetA();
+  Shuffle(&set_a, &rng);
+  const AttributeVector set_b =
+      MakeSetB(static_cast<size_t>(state.range(0)), growth, matching, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoWayMatch(set_a, set_b));
+  }
+  state.counters["attrs_in_b"] = static_cast<double>(state.range(0));
+}
+
+void BM_Match_IS(benchmark::State& state) {
+  RunMatchBenchmark(state, SetGrowth::kActualIs, true);
+}
+void BM_Match_EQ(benchmark::State& state) {
+  RunMatchBenchmark(state, SetGrowth::kFormalEq, true);
+}
+void BM_NoMatch_IS(benchmark::State& state) {
+  RunMatchBenchmark(state, SetGrowth::kActualIs, false);
+}
+void BM_NoMatch_EQ(benchmark::State& state) {
+  RunMatchBenchmark(state, SetGrowth::kFormalEq, false);
+}
+
+BENCHMARK(BM_Match_IS)->DenseRange(6, 30, 6);
+BENCHMARK(BM_Match_EQ)->DenseRange(6, 30, 6);
+BENCHMARK(BM_NoMatch_IS)->DenseRange(6, 30, 6);
+BENCHMARK(BM_NoMatch_EQ)->DenseRange(6, 30, 6);
+
+// One-way matching and hashing, for context.
+void BM_OneWayMatch(benchmark::State& state) {
+  const AttributeVector set_a = AnimalInterestSetA();
+  const AttributeVector set_b = GrowSetB(static_cast<size_t>(state.range(0)),
+                                         SetGrowth::kActualIs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OneWayMatch(set_a, set_b));
+  }
+}
+BENCHMARK(BM_OneWayMatch)->DenseRange(6, 30, 12);
+
+void BM_HashAttributes(benchmark::State& state) {
+  const AttributeVector set_b = GrowSetB(static_cast<size_t>(state.range(0)),
+                                         SetGrowth::kActualIs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashAttributes(set_b));
+  }
+}
+BENCHMARK(BM_HashAttributes)->DenseRange(6, 30, 12);
+
+}  // namespace
+}  // namespace diffusion

@@ -1,0 +1,63 @@
+// Scalability sweep — the prior-work claim §1 leans on: "[the simulation
+// study] evaluated their performance through simulation, finding that
+// scalability is good as numbers of nodes and traffic increases."
+//
+// Sweeps the network size with the simulation-era configuration (1.6 Mb/s
+// radios, 5 sources, 5 sinks, suppression on) and reports bytes per event
+// and event delivery. Expected shape: bytes/event grows sub-linearly with
+// node count (floods touch every node, but the reinforced data paths don't),
+// and delivery stays high.
+
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "src/testbed/experiments.h"
+#include "src/testbed/harness.h"
+
+namespace diffusion {
+namespace {
+
+int Main(int argc, char** argv) {
+  const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 3));
+  const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 3));
+  const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 5000));
+
+  const size_t node_counts[] = {30, 50, 80, 120};
+
+  std::printf("=== Scalability sweep (5 sources, 5 sinks, suppression on, 1.6 Mb/s,\n");
+  std::printf("    %d runs x %d min per point) ===\n\n", runs, minutes);
+  std::printf("%-8s  %-18s  %-18s  %-14s\n", "nodes", "bytes/event", "delivery %",
+              "bytes/event/node");
+
+  double first_per_node = 0.0;
+  for (size_t nodes : node_counts) {
+    RunningStat bytes;
+    RunningStat delivery;
+    for (int run = 0; run < runs; ++run) {
+      ScaleParams params;
+      params.nodes = nodes;
+      // Scale the field with the node count to hold density (and hop counts
+      // per unit area) roughly constant.
+      params.field_size = 100.0 * std::sqrt(static_cast<double>(nodes) / 50.0);
+      params.duration = static_cast<SimDuration>(minutes) * kMinute;
+      params.seed = base_seed + static_cast<uint64_t>(run);
+      const ScaleResult result = RunScaleExperiment(params);
+      bytes.Add(result.bytes_per_event);
+      delivery.Add(result.delivery_rate * 100.0);
+    }
+    const double per_node = bytes.mean() / static_cast<double>(nodes);
+    if (first_per_node == 0.0) {
+      first_per_node = per_node;
+    }
+    std::printf("%-8zu  %-18s  %-18s  %-14.1f\n", nodes, FormatWithCI(bytes, 0).c_str(),
+                FormatWithCI(delivery, 1).c_str(), per_node);
+  }
+  std::printf("\nShape to check: per-node cost roughly flat or falling as the network grows\n");
+  std::printf("(flood cost is linear in nodes, data-path cost is linear in hops only).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace diffusion
+
+int main(int argc, char** argv) { return diffusion::Main(argc, argv); }

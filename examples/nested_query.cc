@@ -1,0 +1,37 @@
+// The §5.2/§6.2 nested-query scenario: audio sensing cued by light sensors,
+// run in both placements side by side on the reconstructed ISI testbed.
+//
+//   nested — the user tasks the audio sensor; the audio sensor sub-tasks the
+//            lights directly (Figure 6b). Light chatter stays one hop from
+//            the lights.
+//   flat   — the one-level query (Figure 6a): light reports cross the whole
+//            network to the user, who correlates them with the audio stream.
+//
+// Build & run:   ./build/examples/nested_query
+
+#include <cstdio>
+
+#include "src/testbed/experiments.h"
+
+using namespace diffusion;
+
+int main() {
+  std::printf("Nested vs flat queries, 4 light sensors, 10-minute runs on the 14-node "
+              "testbed:\n\n");
+  for (QueryMode mode : {QueryMode::kNested, QueryMode::kFlat}) {
+    Fig9Params params;
+    params.lights = 4;
+    params.mode = mode;
+    params.duration = 10 * kMinute;
+    params.seed = 23;
+    const Fig9Result result = RunFig9(params);
+    std::printf("%-7s  delivered %2zu/%2zu light-change events (%.0f%%), %llu diffusion bytes\n",
+                mode == QueryMode::kNested ? "nested" : "flat", result.delivered_events,
+                result.possible_events, result.delivered_fraction * 100.0,
+                static_cast<unsigned long long>(result.diffusion_bytes));
+  }
+  std::printf("\nThe nested query localizes the high-rate light traffic next to the audio\n"
+              "sensor instead of hauling it across the network: more events survive and\n"
+              "fewer bytes move (§6.2).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "src/apps/animal.h"
+
+#include "src/apps/app_keys.h"
+#include "src/naming/keys.h"
+
+namespace diffusion {
+namespace {
+
+constexpr char kTaskDetectAnimal[] = "detectAnimal";
+constexpr char kTargetFourLeg[] = "4-leg";
+constexpr char kTypeFourLeggedSearch[] = "four-legged-animal-search";
+
+}  // namespace
+
+AttributeVector AnimalInterestSetA() {
+  return {
+      ClassIs(kClassInterest),
+      Attribute::String(kKeyTask, AttrOp::kEq, kTaskDetectAnimal),
+      Attribute::Float64(kKeyConfidence, AttrOp::kGt, 50.0),
+      Attribute::Float64(kKeyYCoord, AttrOp::kGe, 10.0),   // latitude GE 10.0
+      Attribute::Float64(kKeyYCoord, AttrOp::kLe, 100.0),  // latitude LE 100.0
+      Attribute::Float64(kKeyXCoord, AttrOp::kGe, 5.0),    // longitude GE 5.0
+      Attribute::Float64(kKeyXCoord, AttrOp::kLe, 95.0),   // longitude LE 95.0
+      Attribute::String(kKeyTarget, AttrOp::kIs, kTargetFourLeg),
+  };
+}
+
+AttributeVector AnimalDataSetB() {
+  return {
+      ClassIs(kClassData),
+      Attribute::String(kKeyTask, AttrOp::kIs, kTaskDetectAnimal),
+      Attribute::Float64(kKeyConfidence, AttrOp::kIs, 90.0),
+      Attribute::Float64(kKeyYCoord, AttrOp::kIs, 20.0),  // latitude IS 20.0
+      Attribute::Float64(kKeyXCoord, AttrOp::kIs, 80.0),  // longitude IS 80.0
+      Attribute::String(kKeyTarget, AttrOp::kIs, kTargetFourLeg),
+  };
+}
+
+AttributeVector GrowSetB(size_t total_attrs, SetGrowth growth) {
+  AttributeVector set_b = AnimalDataSetB();
+  while (set_b.size() < total_attrs) {
+    if (growth == SetGrowth::kActualIs) {
+      set_b.push_back(Attribute::String(kKeyExtra, AttrOp::kIs, "lot"));
+    } else {
+      set_b.push_back(ClassEq(kClassInterest));
+    }
+  }
+  return set_b;
+}
+
+AttributeVector MakeNoMatch(AttributeVector set_b) {
+  for (Attribute& attr : set_b) {
+    if (attr.key() == kKeyConfidence && attr.op() == AttrOp::kIs) {
+      attr = Attribute::Float64(kKeyConfidence, AttrOp::kIs, 10.0);
+    }
+  }
+  return set_b;
+}
+
+AttributeVector FourLeggedAnimalInterest() {
+  return {
+      Attribute::String(kKeyType, AttrOp::kEq, kTypeFourLeggedSearch),
+      Attribute::Int32(kKeyInterval, AttrOp::kIs, 20),      // 20 ms
+      Attribute::Int32(kKeyDuration, AttrOp::kIs, 10'000),  // 10 seconds
+      Attribute::Float64(kKeyXCoord, AttrOp::kGe, -100.0),
+      Attribute::Float64(kKeyXCoord, AttrOp::kLe, 200.0),
+      Attribute::Float64(kKeyYCoord, AttrOp::kGe, 100.0),
+      Attribute::Float64(kKeyYCoord, AttrOp::kLe, 400.0),
+      ClassIs(kClassInterest),
+  };
+}
+
+AttributeVector FourLeggedAnimalDetection() {
+  return {
+      Attribute::String(kKeyType, AttrOp::kIs, kTypeFourLeggedSearch),
+      Attribute::String(kKeyInstance, AttrOp::kIs, "elephant"),
+      Attribute::Float64(kKeyXCoord, AttrOp::kIs, 125.0),
+      Attribute::Float64(kKeyYCoord, AttrOp::kIs, 220.0),
+      Attribute::Float64(kKeyIntensity, AttrOp::kIs, 0.6),
+      Attribute::Float64(kKeyConfidence, AttrOp::kIs, 0.85),
+      Attribute::Int64(kKeyTimestamp, AttrOp::kIs, 80 * 60 * 1'000'000LL),  // "1:20"
+      ClassIs(kClassData),
+  };
+}
+
+AttributeVector FourLeggedSensorWatch() {
+  return {
+      ClassEq(kClassInterest),
+      Attribute::String(kKeyType, AttrOp::kIs, kTypeFourLeggedSearch),
+      Attribute::Float64(kKeyXCoord, AttrOp::kIs, 125.0),
+      Attribute::Float64(kKeyYCoord, AttrOp::kIs, 220.0),
+  };
+}
+
+}  // namespace diffusion

@@ -1,0 +1,62 @@
+// Animal-tracking attribute sets.
+//
+// Two sources in the paper:
+//  * §3.2's worked example — the four-legged-animal query, its data reply,
+//    and the sensor's "interest about interests".
+//  * Figure 10 — the Set A (interest) / Set B (data) pair used by the §6.3
+//    matching microbenchmark, plus the growth rules of Figure 11 (extra
+//    actuals for match/IS, extra formals for match/EQ, and the no-match
+//    variant that flips the confidence).
+
+#ifndef SRC_APPS_ANIMAL_H_
+#define SRC_APPS_ANIMAL_H_
+
+#include <cstddef>
+
+#include "src/naming/attribute.h"
+
+namespace diffusion {
+
+// ---- Figure 10 ----
+
+// Set A: (class IS interest, task EQ "detectAnimal", confidence GT 50,
+// latitude GE 10.0, latitude LE 100.0, longitude GE 5.0, longitude LE 95.0,
+// target IS "4-leg") — 8 attributes.
+AttributeVector AnimalInterestSetA();
+
+// Set B: (class IS data, task IS "detectAnimal", confidence IS 90,
+// latitude IS 20.0, longitude IS 80.0, target IS "4-leg") — 6 attributes.
+AttributeVector AnimalDataSetB();
+
+// How Figure 11 grows set B from 6 to 30 attributes.
+enum class SetGrowth {
+  kActualIs,   // repetitions of 'extra IS "lot"' (match/IS line)
+  kFormalEq,   // additions of 'class EQ interest'   (match/EQ line)
+};
+
+// Returns Set B grown to `total_attrs` attributes (>= 6) using `growth`.
+AttributeVector GrowSetB(size_t total_attrs, SetGrowth growth);
+
+// The no-match variant: "the confidence value in set B is changed from 90 to
+// 10", failing Set A's "confidence GT 50" formal.
+AttributeVector MakeNoMatch(AttributeVector set_b);
+
+// ---- §3.2 worked example ----
+
+// "(type EQ four-legged-animal-search, interval IS 20ms, duration IS 10
+// seconds, x GE -100, x LE 200, y GE 100, y LE 400)" plus the implicit class
+// actual.
+AttributeVector FourLeggedAnimalInterest();
+
+// "(type IS four-legged-animal-search, instance IS elephant, x IS 125,
+// y IS 220, intensity IS 0.6, confidence IS 0.85, timestamp IS 1:20,
+// class IS data)".
+AttributeVector FourLeggedAnimalDetection();
+
+// The sensor's interest about interests: "(class EQ interest, type IS
+// four-legged-animal-search, x IS 125, y IS 220)".
+AttributeVector FourLeggedSensorWatch();
+
+}  // namespace diffusion
+
+#endif  // SRC_APPS_ANIMAL_H_

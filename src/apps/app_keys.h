@@ -1,0 +1,25 @@
+// Application-level attribute vocabulary (keys >= kKeyFirstApplication).
+
+#ifndef SRC_APPS_APP_KEYS_H_
+#define SRC_APPS_APP_KEYS_H_
+
+#include "src/naming/keys.h"
+
+namespace diffusion {
+
+enum AppKey : AttrKey {
+  kKeyLightState = kKeyFirstApplication + 0,  // int32 0/1
+  kKeyEventId = kKeyFirstApplication + 1,     // int32 toggle epoch
+  kKeyPad = kKeyFirstApplication + 2,         // blob, sizes messages realistically
+  kKeyExtra = kKeyFirstApplication + 3,       // Figure 11's 'extra IS "lot"' filler
+};
+
+// Task/type names shared by the experiment applications.
+inline constexpr char kTypeSurveillance[] = "surveillance";
+inline constexpr char kTypeLight[] = "light";
+inline constexpr char kTypeAudio[] = "audio";
+inline constexpr char kTypeAudioTrigger[] = "audio-trigger";
+
+}  // namespace diffusion
+
+#endif  // SRC_APPS_APP_KEYS_H_

@@ -1,0 +1,32 @@
+#include "src/apps/app_util.h"
+
+#include "src/apps/app_keys.h"
+#include "src/core/message.h"
+
+namespace diffusion {
+
+void PadMessageAttrs(AttributeVector* attrs, size_t target_wire_bytes) {
+  // Message header is 10 bytes; a blob attribute costs 8 bytes of framing
+  // plus its payload.
+  constexpr size_t kMessageHeader = 10;
+  constexpr size_t kBlobAttrOverhead = 8;
+  const size_t current = kMessageHeader + AttributesWireSize(*attrs);
+  if (current + kBlobAttrOverhead >= target_wire_bytes) {
+    return;
+  }
+  const size_t pad = target_wire_bytes - current - kBlobAttrOverhead;
+  attrs->push_back(Attribute::Blob(kKeyPad, AttrOp::kIs, std::vector<uint8_t>(pad, 0xa5)));
+}
+
+int32_t GetInt32ActualOr(const AttributeVector& attrs, AttrKey key, int32_t fallback) {
+  const Attribute* attr = FindActual(attrs, key);
+  if (attr == nullptr) {
+    return fallback;
+  }
+  if (std::optional<int64_t> value = attr->AsInt()) {
+    return static_cast<int32_t>(*value);
+  }
+  return fallback;
+}
+
+}  // namespace diffusion

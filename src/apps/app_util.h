@@ -1,0 +1,24 @@
+// Shared application helpers.
+
+#ifndef SRC_APPS_APP_UTIL_H_
+#define SRC_APPS_APP_UTIL_H_
+
+#include <cstddef>
+
+#include "src/naming/attribute.h"
+
+namespace diffusion {
+
+// Pads a data message's attributes with an uninterpreted blob so its total
+// encoded Message size reaches `target_wire_bytes`. The testbed's events were
+// 112-byte messages (§6.1) and the nested-query data "about 100 bytes"
+// (§6.2); padding makes simulated messages occupy matching airtime. No-op if
+// the message is already at least that large.
+void PadMessageAttrs(AttributeVector* attrs, size_t target_wire_bytes);
+
+// Reads an int32 actual, or `fallback` when absent/mistyped.
+int32_t GetInt32ActualOr(const AttributeVector& attrs, AttrKey key, int32_t fallback);
+
+}  // namespace diffusion
+
+#endif  // SRC_APPS_APP_UTIL_H_

@@ -1,0 +1,111 @@
+#include "src/apps/election.h"
+
+#include "src/apps/app_keys.h"
+#include "src/apps/app_util.h"
+
+namespace diffusion {
+namespace {
+
+constexpr AttrKey kKeyElectionTopic = kKeyFirstApplication + 20;   // string
+constexpr AttrKey kKeyElectionMetric = kKeyFirstApplication + 21;  // float64
+
+constexpr char kTypeElectionClaim[] = "election-claim";
+
+AttributeVector ClaimInterest(const std::string& topic) {
+  return {
+      ClassEq(kClassData),
+      Attribute::String(kKeyType, AttrOp::kEq, kTypeElectionClaim),
+      Attribute::String(kKeyElectionTopic, AttrOp::kEq, topic),
+  };
+}
+
+}  // namespace
+
+SensorElection::SensorElection(DiffusionNode* node, std::string topic, double metric,
+                               ElectionConfig config)
+    : node_(node),
+      topic_(std::move(topic)),
+      self_{metric, node->id()},
+      config_(config),
+      rng_(node->simulator().rng().Fork()) {
+  claim_subscription_ = node_->Subscribe(
+      ClaimInterest(topic_), [this](const AttributeVector& attrs) { OnClaim(attrs); });
+  claim_publication_ = node_->Publish({
+      Attribute::String(kKeyType, AttrOp::kIs, kTypeElectionClaim),
+      Attribute::String(kKeyElectionTopic, AttrOp::kIs, topic_),
+  });
+}
+
+SensorElection::~SensorElection() {
+  if (nominate_event_ != kInvalidEventId) {
+    node_->simulator().Cancel(nominate_event_);
+  }
+  if (settle_event_ != kInvalidEventId) {
+    node_->simulator().Cancel(settle_event_);
+  }
+  node_->Unsubscribe(claim_subscription_);
+  node_->Unpublish(claim_publication_);
+}
+
+void SensorElection::Start(ResultCallback on_result) {
+  on_result_ = std::move(on_result);
+  // SRM-style distance-weighted timer: the best candidate usually fires
+  // first and suppresses everyone else.
+  const SimDuration delay =
+      static_cast<SimDuration>(self_.metric * static_cast<double>(config_.delay_per_metric)) +
+      (config_.jitter > 0 ? rng_.NextInt(0, config_.jitter) : 0);
+  nominate_event_ = node_->simulator().After(delay, [this] {
+    nominate_event_ = kInvalidEventId;
+    Nominate();
+  });
+  settle_event_ = node_->simulator().After(config_.settle_time, [this] {
+    settle_event_ = kInvalidEventId;
+    Settle();
+  });
+}
+
+void SensorElection::OnClaim(const AttributeVector& attrs) {
+  const Attribute* metric = FindActual(attrs, kKeyElectionMetric);
+  const int32_t claimer = GetInt32ActualOr(attrs, kKeySourceId, -1);
+  if (metric == nullptr || claimer < 0) {
+    return;
+  }
+  ++claims_seen_;
+  const Claim claim{metric->AsDouble().value_or(1e18), static_cast<NodeId>(claimer)};
+  if (!best_.has_value() || best_->BeatenBy(claim)) {
+    // Either the first claim, or a dispute by a better peer.
+    best_ = claim;
+  }
+  // Suppression: a pending nomination that cannot win stays silent.
+  if (nominate_event_ != kInvalidEventId && self_.BeatenBy(*best_)) {
+    node_->simulator().Cancel(nominate_event_);
+    nominate_event_ = kInvalidEventId;
+  }
+}
+
+void SensorElection::Nominate() {
+  if (best_.has_value() && self_.BeatenBy(*best_)) {
+    return;  // somebody better already claimed
+  }
+  claimed_ = true;
+  if (!best_.has_value() || best_->BeatenBy(self_)) {
+    best_ = self_;
+  }
+  node_->Send(claim_publication_, {
+                                      Attribute::Float64(kKeyElectionMetric, AttrOp::kIs,
+                                                         self_.metric),
+                                      Attribute::Int32(kKeySourceId, AttrOp::kIs,
+                                                       static_cast<int32_t>(self_.node)),
+                                  });
+}
+
+void SensorElection::Settle() {
+  decided_ = true;
+  const Claim outcome = best_.value_or(self_);
+  winner_ = outcome.node;
+  if (on_result_) {
+    on_result_(outcome.node, outcome.node == node_->id());
+  }
+}
+
+}  // namespace diffusion

@@ -1,0 +1,100 @@
+// Distributed sensor election (paper §5.2).
+//
+// "If multiple triggered sensors are acceptable but there is a reasonable
+// definition of which one is best (perhaps, the most central one), it can be
+// selected through an election algorithm. One such algorithm would have
+// triggered sensors nominate themselves after a random delay as the 'best',
+// informing their peers of their location and election (this approach is
+// inspired by SRM repair timers [17]). Better peers can then dispute the
+// claim. Use of location as an external frame of reference defines a best
+// node and allows timers to be weighted by distance to minimize the number
+// of disputed claims."
+//
+// Claims are ordinary attribute-named data messages: every participant
+// subscribes to the election topic, so claims diffuse to all of them with no
+// coordinator. A participant whose nomination timer fires after it has
+// already heard a better claim stays silent — with distance-weighted timers,
+// most elections settle with a single claim.
+
+#ifndef SRC_APPS_ELECTION_H_
+#define SRC_APPS_ELECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/core/node.h"
+#include "src/radio/position.h"
+#include "src/util/rng.h"
+
+namespace diffusion {
+
+struct ElectionConfig {
+  // Nomination delay = metric * delay_per_metric + Uniform(0, jitter).
+  // SRM-style: better candidates (smaller metric) fire earlier.
+  SimDuration delay_per_metric = 200 * kMillisecond;
+  SimDuration jitter = 100 * kMillisecond;
+  // The election settles this long after Start (claims heard by then count).
+  SimDuration settle_time = 10 * kSecond;
+};
+
+class SensorElection {
+ public:
+  // `winner_id`: the elected node; `won`: whether this participant won.
+  using ResultCallback = std::function<void(NodeId winner_id, bool won)>;
+
+  // `metric`: this participant's badness — e.g. its distance to the point of
+  // interest; the smallest metric wins, ties broken by lower node id.
+  SensorElection(DiffusionNode* node, std::string topic, double metric,
+                 ElectionConfig config = ElectionConfig{});
+  ~SensorElection();
+
+  SensorElection(const SensorElection&) = delete;
+  SensorElection& operator=(const SensorElection&) = delete;
+
+  // Arms the nomination timer; the result callback fires at settle time.
+  void Start(ResultCallback on_result);
+
+  bool decided() const { return decided_; }
+  std::optional<NodeId> winner() const { return winner_; }
+  bool claimed() const { return claimed_; }
+  uint64_t claims_seen() const { return claims_seen_; }
+
+ private:
+  struct Claim {
+    double metric;
+    NodeId node;
+    // "Better": smaller metric, ties to the lower id — every participant
+    // orders claims identically, so all settle on the same winner.
+    bool BeatenBy(const Claim& other) const {
+      return other.metric < metric || (other.metric == metric && other.node < node);
+    }
+  };
+
+  void OnClaim(const AttributeVector& attrs);
+  void Nominate();
+  void Settle();
+
+  DiffusionNode* node_;
+  std::string topic_;
+  Claim self_;
+  ElectionConfig config_;
+  Rng rng_;
+
+  SubscriptionHandle claim_subscription_ = kInvalidHandle;
+  PublicationHandle claim_publication_ = kInvalidHandle;
+  EventId nominate_event_ = kInvalidEventId;
+  EventId settle_event_ = kInvalidEventId;
+
+  std::optional<Claim> best_;
+  bool claimed_ = false;
+  bool decided_ = false;
+  std::optional<NodeId> winner_;
+  uint64_t claims_seen_ = 0;
+  ResultCallback on_result_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_APPS_ELECTION_H_

@@ -1,0 +1,132 @@
+#include "src/apps/surveillance.h"
+
+#include "src/apps/app_keys.h"
+#include "src/apps/app_util.h"
+#include "src/naming/keys.h"
+
+namespace diffusion {
+
+AttributeVector SurveillanceInterestAttrs(const SurveillanceConfig& config) {
+  AttributeVector attrs = {
+      ClassEq(kClassData),
+      Attribute::String(kKeyType, AttrOp::kEq, config.type),
+  };
+  if (config.use_region) {
+    attrs.push_back(Attribute::Float64(kKeyXCoord, AttrOp::kGe, config.x_min));
+    attrs.push_back(Attribute::Float64(kKeyXCoord, AttrOp::kLe, config.x_max));
+    attrs.push_back(Attribute::Float64(kKeyYCoord, AttrOp::kGe, config.y_min));
+    attrs.push_back(Attribute::Float64(kKeyYCoord, AttrOp::kLe, config.y_max));
+    attrs.push_back(Attribute::Float64(kKeySinkX, AttrOp::kIs, config.sink_x));
+    attrs.push_back(Attribute::Float64(kKeySinkY, AttrOp::kIs, config.sink_y));
+  }
+  return attrs;
+}
+
+AttributeVector SurveillanceDataFilterAttrs(const SurveillanceConfig& config) {
+  return {
+      ClassEq(kClassData),
+      Attribute::String(kKeyType, AttrOp::kEq, config.type),
+  };
+}
+
+SurveillanceSource::SurveillanceSource(DiffusionNode* node, SurveillanceConfig config,
+                                       int32_t source_id, double x, double y)
+    : node_(node), config_(std::move(config)), source_id_(source_id), x_(x), y_(y) {}
+
+SurveillanceSource::~SurveillanceSource() { Stop(); }
+
+void SurveillanceSource::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  start_time_ = node_->simulator().now();
+  publication_ = node_->Publish({
+      Attribute::String(kKeyType, AttrOp::kIs, config_.type),
+  });
+  Tick();
+}
+
+void SurveillanceSource::Stop() {
+  running_ = false;
+  if (tick_event_ != kInvalidEventId) {
+    node_->simulator().Cancel(tick_event_);
+    tick_event_ = kInvalidEventId;
+  }
+  if (publication_ != kInvalidHandle) {
+    node_->Unpublish(publication_);
+    publication_ = kInvalidHandle;
+  }
+}
+
+void SurveillanceSource::Tick() {
+  if (!running_) {
+    return;
+  }
+  // Sequence numbers are synchronized across sources by deriving them from
+  // elapsed time (§6.1's "synchronized at experiment start").
+  const int32_t sequence =
+      static_cast<int32_t>((node_->simulator().now() - start_time_) / config_.event_interval);
+  AttributeVector extra = {
+      Attribute::Int32(kKeySequence, AttrOp::kIs, sequence),
+      Attribute::Int32(kKeySourceId, AttrOp::kIs, source_id_),
+      Attribute::Float64(kKeyConfidence, AttrOp::kIs, 85.0),
+      Attribute::Int64(kKeyTimestamp, AttrOp::kIs, node_->simulator().now()),
+  };
+  if (config_.use_region) {
+    extra.push_back(Attribute::Float64(kKeyXCoord, AttrOp::kIs, x_));
+    extra.push_back(Attribute::Float64(kKeyYCoord, AttrOp::kIs, y_));
+  }
+  // Compute the full message attrs to size the padding: publication attrs +
+  // the implicit class actual + extras.
+  AttributeVector full = {
+      Attribute::String(kKeyType, AttrOp::kIs, config_.type),
+      ClassIs(kClassData),
+  };
+  full.insert(full.end(), extra.begin(), extra.end());
+  PadMessageAttrs(&full, config_.message_bytes);
+  for (const Attribute& attr : full) {
+    if (attr.key() == kKeyPad) {
+      extra.push_back(attr);
+    }
+  }
+  node_->Send(publication_, extra);
+  ++events_generated_;
+  tick_event_ = node_->simulator().After(config_.event_interval, [this] {
+    tick_event_ = kInvalidEventId;
+    Tick();
+  });
+}
+
+SurveillanceSink::SurveillanceSink(DiffusionNode* node, SurveillanceConfig config)
+    : node_(node), config_(std::move(config)) {}
+
+SurveillanceSink::~SurveillanceSink() {
+  if (subscription_ != kInvalidHandle) {
+    node_->Unsubscribe(subscription_);
+  }
+}
+
+void SurveillanceSink::Start() {
+  subscription_ =
+      node_->Subscribe(SurveillanceInterestAttrs(config_), [this](const AttributeVector& attrs) {
+        ++total_received_;
+        const Attribute* sequence = FindActual(attrs, kKeySequence);
+        if (sequence == nullptr) {
+          return;
+        }
+        if (std::optional<int64_t> value = sequence->AsInt()) {
+          const bool first_copy =
+              seen_sequences_.insert(static_cast<int32_t>(*value)).second;
+          const Attribute* stamp = FindActual(attrs, kKeyTimestamp);
+          if (first_copy && stamp != nullptr) {
+            if (std::optional<int64_t> sent_at = stamp->AsInt()) {
+              first_copy_latency_.Add(
+                  DurationToSeconds(node_->simulator().now() - *sent_at));
+            }
+          }
+        }
+      });
+}
+
+}  // namespace diffusion

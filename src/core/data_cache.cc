@@ -1,0 +1,19 @@
+#include "src/core/data_cache.h"
+
+namespace diffusion {
+
+bool DataCache::CheckAndInsert(uint64_t id) {
+  if (set_.count(id) > 0) {
+    ++hits_;
+    return true;
+  }
+  set_.insert(id);
+  order_.push_back(id);
+  while (order_.size() > capacity_) {
+    set_.erase(order_.front());
+    order_.pop_front();
+  }
+  return false;
+}
+
+}  // namespace diffusion

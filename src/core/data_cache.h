@@ -1,0 +1,39 @@
+// Duplicate/loop-suppression cache (paper §3.1).
+//
+// "The core diffusion mechanism uses the cache to suppress duplicate
+// messages and prevent loops." Entries are packet ids (origin + sequence),
+// which survive re-broadcast, so a flooded message is processed at most once
+// per node. Bounded FIFO eviction keeps memory constant.
+
+#ifndef SRC_CORE_DATA_CACHE_H_
+#define SRC_CORE_DATA_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace diffusion {
+
+class DataCache {
+ public:
+  explicit DataCache(size_t capacity) : capacity_(capacity) {}
+
+  // Records `id`; returns true if it was already present (a duplicate).
+  bool CheckAndInsert(uint64_t id);
+
+  bool Contains(uint64_t id) const { return set_.count(id) > 0; }
+  size_t size() const { return set_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+
+ private:
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  std::unordered_set<uint64_t> set_;
+  std::deque<uint64_t> order_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_DATA_CACHE_H_

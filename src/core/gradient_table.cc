@@ -1,0 +1,102 @@
+#include "src/core/gradient_table.h"
+
+#include <algorithm>
+
+#include "src/naming/matching.h"
+
+namespace diffusion {
+
+Gradient* InterestEntry::FindGradient(NodeId neighbor) {
+  for (Gradient& gradient : gradients) {
+    if (gradient.neighbor == neighbor) {
+      return &gradient;
+    }
+  }
+  return nullptr;
+}
+
+Gradient& InterestEntry::AddOrRefreshGradient(NodeId neighbor, SimTime new_expires) {
+  if (Gradient* existing = FindGradient(neighbor)) {
+    existing->expires = std::max(existing->expires, new_expires);
+    return *existing;
+  }
+  gradients.push_back(Gradient{neighbor, new_expires, false, 0});
+  return gradients.back();
+}
+
+void InterestEntry::ExpireGradients(SimTime now) {
+  for (Gradient& gradient : gradients) {
+    if (gradient.reinforced && gradient.reinforced_until < now) {
+      gradient.reinforced = false;
+    }
+  }
+  gradients.erase(std::remove_if(gradients.begin(), gradients.end(),
+                                 [now](const Gradient& g) { return g.expires < now; }),
+                  gradients.end());
+}
+
+bool InterestEntry::HasReinforcedGradient() const {
+  for (const Gradient& gradient : gradients) {
+    if (gradient.reinforced) {
+      return true;
+    }
+  }
+  return false;
+}
+
+InterestEntry* GradientTable::FindExact(const AttributeVector& attrs) {
+  const uint64_t hash = HashAttributes(attrs);
+  for (InterestEntry& entry : entries_) {
+    if (entry.attrs_hash == hash && ExactMatch(entry.attrs, attrs)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<InterestEntry*> GradientTable::MatchData(const AttributeVector& data_attrs) {
+  std::vector<InterestEntry*> matches;
+  for (InterestEntry& entry : entries_) {
+    if (TwoWayMatch(entry.attrs, data_attrs)) {
+      matches.push_back(&entry);
+    }
+  }
+  return matches;
+}
+
+InterestEntry& GradientTable::InsertOrRefresh(const AttributeVector& attrs, SimTime expires) {
+  if (InterestEntry* existing = FindExact(attrs)) {
+    existing->expires = std::max(existing->expires, expires);
+    return *existing;
+  }
+  InterestEntry entry;
+  entry.attrs = attrs;
+  entry.attrs_hash = HashAttributes(attrs);
+  entry.expires = expires;
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+void GradientTable::Expire(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it->ExpireGradients(now);
+    if (!it->is_local && it->expires < now && it->gradients.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool GradientTable::RemoveLocal(const AttributeVector& attrs) {
+  const uint64_t hash = HashAttributes(attrs);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->is_local && it->attrs_hash == hash && ExactMatch(it->attrs, attrs)) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,113 @@
+// Interest and gradient state (paper §3.1).
+//
+// Every node is task-aware: it stores interests rather than just forwarding
+// them. For each distinct interest (identified by exact attribute-set match)
+// the node keeps one entry with a gradient per neighbor that sent the
+// interest. A gradient records direction (data matching this interest flows
+// to that neighbor), demand status (reinforced or not), and freshness.
+
+#ifndef SRC_CORE_GRADIENT_TABLE_H_
+#define SRC_CORE_GRADIENT_TABLE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/naming/attribute.h"
+#include "src/radio/position.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+
+struct Gradient {
+  NodeId neighbor = kBroadcastId;
+  SimTime expires = 0;
+  // Data flows at full rate only on reinforced gradients; unreinforced
+  // gradients carry exploratory data only.
+  bool reinforced = false;
+  SimTime reinforced_until = 0;
+  // "The desired update rate" (§3.1): when the interest carried an
+  // "interval IS n" actual, regular data toward this neighbor is downsampled
+  // to at most one message per interval. Zero means unconstrained.
+  SimDuration data_interval = 0;
+  SimTime last_data_forwarded = -1;
+};
+
+struct InterestEntry {
+  AttributeVector attrs;
+  uint64_t attrs_hash = 0;
+  SimTime expires = 0;
+
+  // True when a local application subscription created this entry (the node
+  // is a sink for it).
+  bool is_local = false;
+
+  std::vector<Gradient> gradients;
+
+  // Reinforcement bookkeeping: for the most recent exploratory packet seen
+  // for this interest, which neighbor delivered the first copy ("the
+  // preferred neighbor ... which delivered the first copy of the data
+  // message").
+  uint64_t last_exploratory_packet = 0;
+  NodeId last_exploratory_from = kBroadcastId;
+
+  // Upstream neighbors this node has positively reinforced, with the last
+  // time each won a first-copy race (for negative reinforcement of stale
+  // paths).
+  std::unordered_map<NodeId, SimTime> reinforced_upstream;
+
+  // Exploratory packet for which this node last propagated a reinforcement
+  // upstream; dedupes reinforcement cascades within one exploratory round.
+  uint64_t last_upstream_reinforce_packet = 0;
+
+  // One-phase pull: the neighbor that delivered the first copy of the most
+  // recent interest flood for this entry — the preferred (lowest-latency)
+  // direction toward the sink.
+  uint64_t last_interest_packet = 0;
+  NodeId preferred_interest_from = kBroadcastId;
+
+  Gradient* FindGradient(NodeId neighbor);
+  // Inserts or refreshes a gradient toward `neighbor`.
+  Gradient& AddOrRefreshGradient(NodeId neighbor, SimTime expires);
+  // Drops expired gradients and stale reinforcement flags.
+  void ExpireGradients(SimTime now);
+  bool HasReinforcedGradient() const;
+};
+
+class GradientTable {
+ public:
+  // Finds the entry whose attributes exactly match `attrs` (order
+  // insensitive), or nullptr. The hash is compared first (§3.1's
+  // hash-before-full-compare optimization).
+  InterestEntry* FindExact(const AttributeVector& attrs);
+
+  // Entries whose interest two-way matches `data_attrs` — i.e. the
+  // destinations/consumers of a data message.
+  std::vector<InterestEntry*> MatchData(const AttributeVector& data_attrs);
+
+  // Inserts a new entry (or returns the existing exact match), refreshing
+  // its expiry to at least `expires`.
+  InterestEntry& InsertOrRefresh(const AttributeVector& attrs, SimTime expires);
+
+  // Removes entries and gradients that have expired. Local entries persist
+  // until unsubscribed regardless of expiry.
+  void Expire(SimTime now);
+
+  // Removes a local entry (unsubscribe). Returns true if found.
+  bool RemoveLocal(const AttributeVector& attrs);
+
+  size_t size() const { return entries_.size(); }
+
+  // Iteration support (e.g. for the debugging/monitoring filter).
+  std::list<InterestEntry>& entries() { return entries_; }
+  const std::list<InterestEntry>& entries() const { return entries_; }
+
+ private:
+  // std::list keeps InterestEntry* stable across insert/erase.
+  std::list<InterestEntry> entries_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_GRADIENT_TABLE_H_

@@ -1,0 +1,64 @@
+#include "src/core/message.h"
+
+#include <sstream>
+
+#include "src/util/byte_buffer.h"
+
+namespace diffusion {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kInterest:
+      return "INTEREST";
+    case MessageType::kData:
+      return "DATA";
+    case MessageType::kExploratoryData:
+      return "EXPLORATORY";
+    case MessageType::kPositiveReinforcement:
+      return "POS-REINFORCE";
+    case MessageType::kNegativeReinforcement:
+      return "NEG-REINFORCE";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> Message::Serialize() const {
+  ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(type));
+  writer.WriteU32(origin);
+  writer.WriteU32(origin_seq);
+  writer.WriteU8(ttl);
+  SerializeAttributes(attrs, &writer);
+  return writer.Take();
+}
+
+std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  Message message;
+  uint8_t type_raw;
+  if (!reader.ReadU8(&type_raw) || !reader.ReadU32(&message.origin) ||
+      !reader.ReadU32(&message.origin_seq) || !reader.ReadU8(&message.ttl)) {
+    return std::nullopt;
+  }
+  if (type_raw > static_cast<uint8_t>(MessageType::kNegativeReinforcement)) {
+    return std::nullopt;
+  }
+  message.type = static_cast<MessageType>(type_raw);
+  std::optional<AttributeVector> attrs = DeserializeAttributes(&reader);
+  if (!attrs.has_value()) {
+    return std::nullopt;
+  }
+  message.attrs = std::move(*attrs);
+  return message;
+}
+
+size_t Message::WireSize() const { return 1 + 4 + 4 + 1 + AttributesWireSize(attrs); }
+
+std::string Message::ToString() const {
+  std::ostringstream out;
+  out << MessageTypeName(type) << " id=" << origin << ":" << origin_seq << " ttl=" << int{ttl}
+      << " " << AttributesToString(attrs);
+  return out.str();
+}
+
+}  // namespace diffusion

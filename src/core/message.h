@@ -1,0 +1,65 @@
+// Diffusion messages.
+//
+// All communication — interests, data, exploratory data, reinforcements — is
+// a single message format: a small header plus an attribute vector (§3).
+// Hop-by-hop identifiers (last/next hop) exist only at the link layer; the
+// packet id (originator + per-originator sequence) travels with the message
+// so that floods can be duplicate-suppressed anywhere in the network.
+
+#ifndef SRC_CORE_MESSAGE_H_
+#define SRC_CORE_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/naming/attribute.h"
+#include "src/radio/position.h"
+
+namespace diffusion {
+
+enum class MessageType : uint8_t {
+  kInterest = 0,
+  kData = 1,
+  kExploratoryData = 2,
+  kPositiveReinforcement = 3,
+  kNegativeReinforcement = 4,
+};
+
+const char* MessageTypeName(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kData;
+
+  // Packet identity: preserved across hops so every node can suppress
+  // duplicates of the same flood.
+  NodeId origin = 0;
+  uint32_t origin_seq = 0;
+
+  // Remaining hop budget for flooded messages.
+  uint8_t ttl = 16;
+
+  // Link-layer context. last_hop is filled in on reception; next_hop selects
+  // a neighbor (or kBroadcastId) on transmission. Neither is serialized in
+  // the message body — the link layer carries them.
+  NodeId last_hop = kBroadcastId;
+  NodeId next_hop = kBroadcastId;
+
+  AttributeVector attrs;
+
+  uint64_t PacketId() const { return (static_cast<uint64_t>(origin) << 32) | origin_seq; }
+
+  // Body encoding (excludes link-layer addressing).
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<Message> Deserialize(const std::vector<uint8_t>& bytes);
+
+  // Bytes of the encoded body; this is the unit the paper's Figure 8 counts.
+  size_t WireSize() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_MESSAGE_H_

@@ -1,0 +1,625 @@
+#include "src/core/node.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "src/naming/matching.h"
+#include "src/util/logging.h"
+
+namespace diffusion {
+
+// ---- FilterApi ----
+
+NodeId FilterApi::node_id() const { return node_->id(); }
+
+SimTime FilterApi::now() const { return node_->sim_->now(); }
+
+void FilterApi::SendMessage(Message message, FilterHandle handle) {
+  auto it = node_->filters_.find(handle);
+  if (it == node_->filters_.end()) {
+    // The invoking filter removed itself; fall through to the core.
+    node_->CoreProcess(message);
+    return;
+  }
+  node_->DispatchToChain(std::move(message), it->second.priority);
+}
+
+void FilterApi::SendMessageToNext(Message message) { node_->CoreProcess(message); }
+
+void FilterApi::SendToNeighbor(Message message, NodeId neighbor) {
+  message.next_hop = neighbor;
+  node_->TransmitMessage(message);
+}
+
+uint32_t FilterApi::NewOriginSeq() { return node_->NextSeq(); }
+
+GradientTable& FilterApi::gradients() { return node_->gradients_; }
+
+std::vector<NodeId> FilterApi::Neighbors() const { return node_->Neighbors(); }
+
+// ---- DiffusionNode ----
+
+DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, DiffusionConfig config,
+                             RadioConfig radio_config)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      radio_(sim, channel, id, radio_config),
+      filter_api_(this),
+      seen_packets_(config.data_cache_size),
+      rng_(sim->rng().Fork()) {
+  radio_.SetReceiveCallback(
+      [this](NodeId from, const std::vector<uint8_t>& bytes) { OnRadioReceive(from, bytes); });
+}
+
+DiffusionNode::~DiffusionNode() {
+  for (auto& [handle, subscription] : subscriptions_) {
+    if (subscription.refresh_event != kInvalidEventId) {
+      sim_->Cancel(subscription.refresh_event);
+    }
+    if (subscription.duration_event != kInvalidEventId) {
+      sim_->Cancel(subscription.duration_event);
+    }
+  }
+  for (EventId event : pending_transmits_) {
+    sim_->Cancel(event);
+  }
+}
+
+SubscriptionHandle DiffusionNode::Subscribe(AttributeVector attrs, DataCallback callback) {
+  Subscription subscription;
+  subscription.handle = next_handle_++;
+  subscription.attrs = std::move(attrs);
+  subscription.callback = std::move(callback);
+
+  // A subscription whose class formal matches "class IS interest" is a
+  // subscription *for subscriptions* (§4.1): it watches interests arriving at
+  // this node and does not flood an interest of its own.
+  const Attribute class_is_interest = ClassIs(kClassInterest);
+  for (const Attribute& attr : subscription.attrs) {
+    if (attr.key() == kKeyClass && attr.IsFormal() && attr.MatchesActual(class_is_interest)) {
+      subscription.local_only = true;
+      break;
+    }
+  }
+
+  subscription.interest_attrs = subscription.attrs;
+  if (!subscription.local_only && FindActual(subscription.interest_attrs, kKeyClass) == nullptr) {
+    // "An implicit 'class IS interest' attribute is added to identify this
+    // message as an interest" (§3.2).
+    subscription.interest_attrs.push_back(ClassIs(kClassInterest));
+  }
+
+  const SubscriptionHandle handle = subscription.handle;
+  auto [it, inserted] = subscriptions_.emplace(handle, std::move(subscription));
+  if (!it->second.local_only) {
+    FloodInterest(it->second);
+    ScheduleRefresh(handle);
+    // "duration IS ..." bounds how long the query lasts (§3.2): stop
+    // refreshing and drop the subscription when it elapses.
+    if (const Attribute* duration = FindActual(it->second.interest_attrs, kKeyDuration)) {
+      if (std::optional<int64_t> ms = duration->AsInt()) {
+        if (*ms > 0) {
+          it->second.duration_event =
+              sim_->After(*ms * kMillisecond, [this, handle] { Unsubscribe(handle); });
+        }
+      }
+    }
+  }
+  return handle;
+}
+
+bool DiffusionNode::Unsubscribe(SubscriptionHandle handle) {
+  auto it = subscriptions_.find(handle);
+  if (it == subscriptions_.end()) {
+    return false;
+  }
+  if (it->second.refresh_event != kInvalidEventId) {
+    sim_->Cancel(it->second.refresh_event);
+  }
+  if (it->second.duration_event != kInvalidEventId) {
+    sim_->Cancel(it->second.duration_event);
+  }
+  const AttributeVector interest_attrs = it->second.interest_attrs;
+  const bool local_only = it->second.local_only;
+  subscriptions_.erase(it);
+  if (!local_only) {
+    // Keep the local entry if another subscription still uses the same
+    // interest; otherwise let it go (remote gradients decay on their own).
+    bool still_used = false;
+    for (const auto& [other_handle, other] : subscriptions_) {
+      if (!other.local_only && ExactMatch(other.interest_attrs, interest_attrs)) {
+        still_used = true;
+        break;
+      }
+    }
+    if (!still_used) {
+      gradients_.RemoveLocal(interest_attrs);
+    }
+  }
+  return true;
+}
+
+PublicationHandle DiffusionNode::Publish(AttributeVector attrs) {
+  Publication publication;
+  publication.handle = next_handle_++;
+  publication.attrs = std::move(attrs);
+  if (FindActual(publication.attrs, kKeyClass) == nullptr) {
+    publication.attrs.push_back(ClassIs(kClassData));
+  }
+  const PublicationHandle handle = publication.handle;
+  publications_.emplace(handle, std::move(publication));
+  return handle;
+}
+
+bool DiffusionNode::Unpublish(PublicationHandle handle) { return publications_.erase(handle) > 0; }
+
+bool DiffusionNode::Send(PublicationHandle handle, const AttributeVector& extra_attrs) {
+  auto it = publications_.find(handle);
+  if (it == publications_.end() || !alive_) {
+    return false;
+  }
+  Publication& publication = it->second;
+
+  Message message;
+  message.attrs = publication.attrs;
+  message.attrs.insert(message.attrs.end(), extra_attrs.begin(), extra_attrs.end());
+
+  gradients_.Expire(sim_->now());
+  const std::vector<InterestEntry*> entries = gradients_.MatchData(message.attrs);
+  if (entries.empty()) {
+    // "If there are no active subscriptions, published data does not leave
+    // the node" (§4.1).
+    return false;
+  }
+
+  // A source without any reinforced path is back in the "initial data
+  // message" state (§3.1): its data goes out exploratory so the path can be
+  // (re-)established — this also self-heals after a lost reinforcement.
+  // One-phase pull has no exploratory phase at all.
+  bool exploratory = false;
+  if (config_.variant == DiffusionVariant::kTwoPhasePull) {
+    bool has_reinforced_path = false;
+    bool remote_demand = false;
+    for (const InterestEntry* entry : entries) {
+      if (entry->HasReinforcedGradient()) {
+        has_reinforced_path = true;
+      }
+      if (!entry->gradients.empty()) {
+        remote_demand = true;
+      }
+    }
+    exploratory = config_.exploratory_every <= 1 ||
+                  publication.send_count % static_cast<uint64_t>(config_.exploratory_every) == 0 ||
+                  (remote_demand && !has_reinforced_path);
+  }
+  ++publication.send_count;
+
+  message.type = exploratory ? MessageType::kExploratoryData : MessageType::kData;
+  message.origin = id_;
+  message.origin_seq = NextSeq();
+  message.ttl = config_.flood_ttl;
+  ++stats_.data_originated;
+  DispatchToChain(std::move(message), std::numeric_limits<int32_t>::max());
+  return true;
+}
+
+FilterHandle DiffusionNode::AddFilter(AttributeVector attrs, int16_t priority,
+                                      FilterCallback callback) {
+  Filter filter;
+  filter.handle = next_handle_++;
+  filter.attrs = std::move(attrs);
+  filter.priority = priority;
+  filter.callback = std::move(callback);
+  const FilterHandle handle = filter.handle;
+  filters_.emplace(handle, std::move(filter));
+  return handle;
+}
+
+bool DiffusionNode::RemoveFilter(FilterHandle handle) { return filters_.erase(handle) > 0; }
+
+std::vector<NodeId> DiffusionNode::Neighbors() const {
+  std::vector<NodeId> neighbors;
+  neighbors.reserve(neighbors_.size());
+  for (const auto& [node, last_heard] : neighbors_) {
+    neighbors.push_back(node);
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  return neighbors;
+}
+
+void DiffusionNode::Kill() {
+  alive_ = false;
+  radio_.Kill();
+}
+
+void DiffusionNode::Revive() {
+  alive_ = true;
+  radio_.Revive();
+}
+
+void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& bytes) {
+  if (!alive_) {
+    return;
+  }
+  neighbors_[from] = sim_->now();
+  std::optional<Message> message = Message::Deserialize(bytes);
+  if (!message.has_value()) {
+    ++stats_.decode_failures;
+    return;
+  }
+  message->last_hop = from;
+  gradients_.Expire(sim_->now());
+  DispatchToChain(std::move(*message), std::numeric_limits<int32_t>::max());
+}
+
+void DiffusionNode::DispatchToChain(Message message, int32_t below_priority) {
+  const Filter* best = nullptr;
+  for (const auto& [handle, filter] : filters_) {
+    if (filter.priority >= below_priority) {
+      continue;
+    }
+    if (best != nullptr && (filter.priority < best->priority ||
+                            (filter.priority == best->priority && filter.handle > best->handle))) {
+      continue;
+    }
+    // Filters trigger on a one-way match: the filter's formals must be
+    // satisfied by the message's actuals. (A message's own formals — e.g. an
+    // interest's comparisons — don't constrain which filters see it.)
+    if (OneWayMatch(filter.attrs, message.attrs)) {
+      best = &filter;
+    }
+  }
+  if (best == nullptr) {
+    CoreProcess(message);
+    return;
+  }
+  // Copy the callback: it may remove its own filter while running.
+  FilterCallback callback = best->callback;
+  callback(message, filter_api_);
+}
+
+void DiffusionNode::CoreProcess(Message& message) {
+  switch (message.type) {
+    case MessageType::kInterest:
+      ProcessInterest(message);
+      break;
+    case MessageType::kData:
+    case MessageType::kExploratoryData:
+      ProcessData(message);
+      break;
+    case MessageType::kPositiveReinforcement:
+      ProcessPositiveReinforcement(message);
+      break;
+    case MessageType::kNegativeReinforcement:
+      ProcessNegativeReinforcement(message);
+      break;
+  }
+}
+
+void DiffusionNode::ProcessInterest(Message& message) {
+  const SimTime now = sim_->now();
+  const SimTime expires = now + config_.gradient_lifetime;
+
+  // Task-aware interest handling: remember the interest, set up a gradient
+  // toward whoever sent it. Gradient setup happens for *every* copy of a
+  // flooded interest (each neighbor's re-broadcast), so gradients form
+  // toward all neighbors; only re-flooding is duplicate-suppressed.
+  InterestEntry& entry = gradients_.InsertOrRefresh(message.attrs, expires);
+  const bool locally_originated = message.origin == id_ && message.last_hop == kBroadcastId;
+  if (message.last_hop != kBroadcastId) {
+    Gradient& gradient = entry.AddOrRefreshGradient(message.last_hop, expires);
+    // "interval IS n" (milliseconds) bounds this gradient's update rate.
+    if (const Attribute* interval = FindActual(message.attrs, kKeyInterval)) {
+      if (std::optional<int64_t> ms = interval->AsInt()) {
+        gradient.data_interval = *ms > 0 ? *ms * kMillisecond : 0;
+      }
+    }
+    if (message.origin != id_ && entry.last_interest_packet != message.PacketId()) {
+      // First copy of this interest flood: its sender is the lowest-latency
+      // direction toward the sink (one-phase pull routes on this). Echo
+      // copies of this node's own flood don't count — the sink is not
+      // downstream of itself.
+      entry.last_interest_packet = message.PacketId();
+      entry.preferred_interest_from = message.last_hop;
+    }
+  } else if (locally_originated) {
+    entry.is_local = true;
+  }
+
+  const bool first_copy = !seen_packets_.CheckAndInsert(message.PacketId());
+  if (!first_copy) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+
+  // Inform local subscriptions-for-subscriptions (§4.1): publishers that
+  // asked to hear about arriving interests.
+  for (const auto& [handle, subscription] : subscriptions_) {
+    if (TwoWayMatch(subscription.attrs, message.attrs)) {
+      subscription.callback(message.attrs);
+    }
+  }
+
+  // Flood onward.
+  if (locally_originated) {
+    Message out = message;
+    out.next_hop = kBroadcastId;
+    ++stats_.interests_originated;
+    TransmitMessage(out);
+  } else if (message.ttl > 1) {
+    Message out = message;
+    --out.ttl;
+    out.next_hop = kBroadcastId;
+    ++stats_.messages_forwarded;
+    TransmitAfterJitter(std::move(out));
+  }
+}
+
+namespace {
+
+// True when the gradient's desired update rate admits another regular data
+// message at `now` (§3.1's per-gradient rate control).
+bool GradientAdmitsData(const Gradient& gradient, SimTime now) {
+  if (gradient.data_interval <= 0 || gradient.last_data_forwarded < 0) {
+    return true;
+  }
+  return now - gradient.last_data_forwarded >= gradient.data_interval;
+}
+
+}  // namespace
+
+void DiffusionNode::ProcessData(Message& message) {
+  if (seen_packets_.CheckAndInsert(message.PacketId())) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  const SimTime now = sim_->now();
+  const bool exploratory = message.type == MessageType::kExploratoryData;
+  const bool from_network = message.last_hop != kBroadcastId;
+
+  std::vector<InterestEntry*> entries = gradients_.MatchData(message.attrs);
+  if (entries.empty()) {
+    return;
+  }
+
+  bool deliver_local = false;
+  std::set<NodeId> next_hops;
+  for (InterestEntry* entry : entries) {
+    if (config_.variant == DiffusionVariant::kOnePhasePull) {
+      // Forward along the preferred (first-interest-copy) gradient only.
+      if (entry->is_local) {
+        deliver_local = true;
+      }
+      const NodeId preferred = entry->preferred_interest_from;
+      Gradient* gradient =
+          preferred != kBroadcastId ? entry->FindGradient(preferred) : nullptr;
+      if (gradient != nullptr && preferred != message.last_hop &&
+          GradientAdmitsData(*gradient, now)) {
+        gradient->last_data_forwarded = now;
+        next_hops.insert(preferred);
+      }
+      continue;
+    }
+    if (exploratory && from_network) {
+      // First copy wins (duplicates were suppressed above): remember the
+      // preferred upstream neighbor for reinforcement.
+      entry->last_exploratory_packet = message.PacketId();
+      entry->last_exploratory_from = message.last_hop;
+    }
+    if (entry->is_local) {
+      deliver_local = true;
+    }
+    for (Gradient& gradient : entry->gradients) {
+      if (gradient.neighbor == message.last_hop) {
+        continue;
+      }
+      if (exploratory) {
+        // Exploratory data ignores rate limits: it maintains paths.
+        next_hops.insert(gradient.neighbor);
+      } else if (gradient.reinforced && GradientAdmitsData(gradient, now)) {
+        gradient.last_data_forwarded = now;
+        next_hops.insert(gradient.neighbor);
+      }
+    }
+    if (exploratory && from_network && entry->is_local) {
+      // Sink behaviour: reinforce the neighbor that delivered the first copy
+      // of this exploratory message, and negatively reinforce previously
+      // preferred neighbors that have stopped winning.
+      entry->reinforced_upstream[message.last_hop] = now;
+      entry->last_upstream_reinforce_packet = message.PacketId();
+      SendReinforcement(MessageType::kPositiveReinforcement, *entry, message.last_hop);
+      for (auto it = entry->reinforced_upstream.begin();
+           it != entry->reinforced_upstream.end();) {
+        if (now - it->second > config_.negative_reinforcement_after) {
+          SendReinforcement(MessageType::kNegativeReinforcement, *entry, it->first);
+          it = entry->reinforced_upstream.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  if (deliver_local) {
+    DeliverLocalData(message);
+  }
+
+  if (message.ttl <= 1 || next_hops.empty()) {
+    return;
+  }
+  Message out = message;
+  const bool forwarded = message.last_hop != kBroadcastId;
+  if (forwarded) {
+    // Origination does not consume hop budget (matching interest floods):
+    // ttl = N reaches N hops.
+    --out.ttl;
+  }
+  if (exploratory && config_.variant == DiffusionVariant::kTwoPhasePull) {
+    // Exploratory data is re-broadcast once per node ("flooded in turn from
+    // each node", §6.1); receivers without matching gradients drop it.
+    out.next_hop = kBroadcastId;
+    if (forwarded) {
+      ++stats_.messages_forwarded;
+      TransmitAfterJitter(std::move(out));
+    } else {
+      TransmitMessage(out);
+    }
+  } else {
+    for (NodeId hop : next_hops) {
+      out.next_hop = hop;
+      if (forwarded) {
+        ++stats_.messages_forwarded;
+        TransmitAfterJitter(out);
+      } else {
+        TransmitMessage(out);
+      }
+    }
+  }
+}
+
+void DiffusionNode::ProcessPositiveReinforcement(Message& message) {
+  if (config_.variant == DiffusionVariant::kOnePhasePull) {
+    return;  // no reinforcement phase
+  }
+  InterestEntry* entry = gradients_.FindExact(message.attrs);
+  if (entry == nullptr) {
+    return;
+  }
+  const SimTime now = sim_->now();
+  if (message.last_hop != kBroadcastId) {
+    Gradient& gradient =
+        entry->AddOrRefreshGradient(message.last_hop, now + config_.gradient_lifetime);
+    gradient.reinforced = true;
+    gradient.reinforced_until = now + config_.reinforcement_lifetime;
+  }
+  if (entry->is_local || IsSourceFor(*entry)) {
+    return;  // ends at the source (or at another sink)
+  }
+  if (entry->last_exploratory_from == kBroadcastId) {
+    return;  // no known upstream to extend the path toward
+  }
+  if (entry->last_upstream_reinforce_packet == entry->last_exploratory_packet &&
+      entry->reinforced_upstream.count(entry->last_exploratory_from) > 0) {
+    return;  // already propagated for this exploratory round
+  }
+  entry->last_upstream_reinforce_packet = entry->last_exploratory_packet;
+  entry->reinforced_upstream[entry->last_exploratory_from] = now;
+  SendReinforcement(MessageType::kPositiveReinforcement, *entry, entry->last_exploratory_from);
+}
+
+void DiffusionNode::ProcessNegativeReinforcement(Message& message) {
+  InterestEntry* entry = gradients_.FindExact(message.attrs);
+  if (entry == nullptr) {
+    return;
+  }
+  if (Gradient* gradient = entry->FindGradient(message.last_hop)) {
+    gradient->reinforced = false;
+  }
+  // If nothing downstream still wants full-rate data, tear the path down
+  // further ("this negative reinforcement propagates neighbor-to-neighbor").
+  if (!entry->is_local && !entry->HasReinforcedGradient()) {
+    for (const auto& [upstream, last_win] : entry->reinforced_upstream) {
+      SendReinforcement(MessageType::kNegativeReinforcement, *entry, upstream);
+    }
+    entry->reinforced_upstream.clear();
+  }
+}
+
+void DiffusionNode::TransmitAfterJitter(Message message) {
+  if (config_.forward_delay_jitter <= 0) {
+    TransmitMessage(message);
+    return;
+  }
+  const SimDuration delay = rng_.NextInt(0, config_.forward_delay_jitter);
+  auto id_holder = std::make_shared<EventId>(kInvalidEventId);
+  *id_holder = sim_->After(delay, [this, message = std::move(message), id_holder] {
+    pending_transmits_.erase(*id_holder);
+    TransmitMessage(message);
+  });
+  pending_transmits_.insert(*id_holder);
+}
+
+void DiffusionNode::TransmitMessage(const Message& message) {
+  if (!alive_) {
+    return;
+  }
+  std::vector<uint8_t> bytes = message.Serialize();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes.size();
+  radio_.SendMessage(message.next_hop, std::move(bytes));
+}
+
+void DiffusionNode::FloodInterest(Subscription& subscription) {
+  Message message;
+  message.type = MessageType::kInterest;
+  message.origin = id_;
+  message.origin_seq = NextSeq();
+  message.ttl = config_.flood_ttl;
+  message.attrs = subscription.interest_attrs;
+  DispatchToChain(std::move(message), std::numeric_limits<int32_t>::max());
+}
+
+void DiffusionNode::ScheduleRefresh(SubscriptionHandle handle) {
+  auto it = subscriptions_.find(handle);
+  if (it == subscriptions_.end()) {
+    return;
+  }
+  const SimDuration jitter = static_cast<SimDuration>(
+      config_.refresh_jitter_fraction * static_cast<double>(config_.interest_refresh));
+  const SimDuration period =
+      config_.interest_refresh - jitter / 2 + (jitter > 0 ? rng_.NextInt(0, jitter) : 0);
+  it->second.refresh_event = sim_->After(period, [this, handle] {
+    auto sub_it = subscriptions_.find(handle);
+    if (sub_it == subscriptions_.end()) {
+      return;
+    }
+    sub_it->second.refresh_event = kInvalidEventId;
+    if (alive_) {
+      FloodInterest(sub_it->second);
+    }
+    ScheduleRefresh(handle);
+  });
+}
+
+void DiffusionNode::SendReinforcement(MessageType type, const InterestEntry& entry,
+                                      NodeId neighbor) {
+  Message message;
+  message.type = type;
+  message.origin = id_;
+  message.origin_seq = NextSeq();
+  message.ttl = 1;
+  message.attrs = entry.attrs;
+  message.next_hop = neighbor;
+  if (type == MessageType::kPositiveReinforcement) {
+    ++stats_.reinforcements_sent;
+  } else {
+    ++stats_.negative_reinforcements_sent;
+  }
+  TransmitMessage(message);
+}
+
+void DiffusionNode::DeliverLocalData(const Message& message) {
+  bool delivered = false;
+  for (const auto& [handle, subscription] : subscriptions_) {
+    if (TwoWayMatch(subscription.attrs, message.attrs)) {
+      subscription.callback(message.attrs);
+      delivered = true;
+    }
+  }
+  if (delivered) {
+    ++stats_.data_delivered_local;
+  }
+}
+
+bool DiffusionNode::IsSourceFor(const InterestEntry& entry) const {
+  for (const auto& [handle, publication] : publications_) {
+    if (TwoWayMatch(entry.attrs, publication.attrs)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,237 @@
+// DiffusionNode: one sensor node's diffusion stack.
+//
+// Implements the paper's two public APIs on top of the radio substrate:
+//
+//   Figure 4 (publish/subscribe): subscribe / unsubscribe / publish /
+//   unpublish / send. Subscriptions flood interests and set up gradients;
+//   published data flows along (reinforced) gradients; "if there are no
+//   active subscriptions, published data does not leave the node."
+//
+//   Figure 5 (filters): addFilter / removeFilter / sendMessage /
+//   sendMessageToNext. Filters form a priority chain; every message entering
+//   the node is offered to the highest-priority matching filter, which may
+//   drop it, mutate it, emit new messages, or pass it on. The diffusion core
+//   is the implicit lowest-priority element of the chain.
+//
+// The core itself implements §3.1: task-aware interest handling, gradient
+// setup, exploratory data, positive and negative reinforcement, duplicate/
+// loop suppression, and periodic interest refresh.
+
+#ifndef SRC_CORE_NODE_H_
+#define SRC_CORE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/data_cache.h"
+#include "src/core/gradient_table.h"
+#include "src/core/message.h"
+#include "src/naming/attribute.h"
+#include "src/naming/keys.h"
+#include "src/radio/radio.h"
+#include "src/sim/simulator.h"
+
+namespace diffusion {
+
+using SubscriptionHandle = uint32_t;
+using PublicationHandle = uint32_t;
+using FilterHandle = uint32_t;
+constexpr uint32_t kInvalidHandle = 0;
+
+class DiffusionNode;
+
+// Capabilities handed to filter callbacks (Figure 5). Filters get "access to
+// internal information about diffusion, including gradients and lists of
+// neighbor nodes" (§3.3).
+class FilterApi {
+ public:
+  explicit FilterApi(DiffusionNode* node) : node_(node) {}
+
+  NodeId node_id() const;
+  SimTime now() const;
+
+  // Passes `message` on down the filter chain, below the priority of the
+  // filter identified by `handle`; reaches the diffusion core if no lower
+  // filter matches.
+  void SendMessage(Message message, FilterHandle handle);
+
+  // Hands `message` directly to the diffusion core for routing/delivery,
+  // bypassing the rest of the chain.
+  void SendMessageToNext(Message message);
+
+  // Transmits `message` directly to a specific neighbor.
+  void SendToNeighbor(Message message, NodeId neighbor);
+
+  // Allocates a fresh origin sequence number for messages the filter creates.
+  uint32_t NewOriginSeq();
+
+  GradientTable& gradients();
+  std::vector<NodeId> Neighbors() const;
+
+ private:
+  DiffusionNode* node_;
+};
+
+struct NodeStats {
+  uint64_t messages_sent = 0;      // diffusion transmissions (per next-hop)
+  uint64_t bytes_sent = 0;         // diffusion bytes sent — the Figure 8 unit
+  uint64_t interests_originated = 0;
+  uint64_t data_originated = 0;
+  uint64_t messages_forwarded = 0;
+  uint64_t data_delivered_local = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t decode_failures = 0;
+  uint64_t reinforcements_sent = 0;
+  uint64_t negative_reinforcements_sent = 0;
+};
+
+class DiffusionNode {
+ public:
+  // Invoked with the attribute set of a matching data (or interest) message.
+  using DataCallback = std::function<void(const AttributeVector& attrs)>;
+  // Invoked with a mutable message and the filter capabilities object.
+  using FilterCallback = std::function<void(Message& message, FilterApi& api)>;
+
+  DiffusionNode(Simulator* sim, Channel* channel, NodeId id,
+                DiffusionConfig config = DiffusionConfig{}, RadioConfig radio_config = RadioConfig{});
+  ~DiffusionNode();
+
+  DiffusionNode(const DiffusionNode&) = delete;
+  DiffusionNode& operator=(const DiffusionNode&) = delete;
+
+  // ---- Figure 4: publish/subscribe API ----
+
+  // Subscribes to data matching `attrs`. Floods an interest (and re-floods
+  // every interest_refresh) unless the subscription is for interests
+  // themselves (contains a formal on the class attribute matching
+  // "class IS interest"), which only watches locally arriving interests.
+  SubscriptionHandle Subscribe(AttributeVector attrs, DataCallback callback);
+  bool Unsubscribe(SubscriptionHandle handle);
+
+  // Declares data this node can produce. The attrs must be actuals
+  // describing the data (a "class IS data" actual is appended if absent).
+  PublicationHandle Publish(AttributeVector attrs);
+  bool Unpublish(PublicationHandle handle);
+
+  // Sends one data message: the publication's attrs plus `extra_attrs`.
+  // Returns false when no matching interest exists anywhere locally (the
+  // data does not leave the node).
+  bool Send(PublicationHandle handle, const AttributeVector& extra_attrs);
+
+  // ---- Figure 5: filter API ----
+
+  // Registers an in-network processing filter. The filter triggers on every
+  // message entering the node whose actuals satisfy `attrs`' formals
+  // (one-way match), highest priority first; it then owns the message and
+  // must re-inject it (FilterApi::SendMessage) for processing to continue.
+  FilterHandle AddFilter(AttributeVector attrs, int16_t priority, FilterCallback callback);
+  bool RemoveFilter(FilterHandle handle);
+
+  // ---- introspection / experiment support ----
+
+  NodeId id() const { return id_; }
+  Simulator& simulator() { return *sim_; }
+  Radio& radio() { return radio_; }
+  GradientTable& gradients() { return gradients_; }
+  const NodeStats& stats() const { return stats_; }
+  const DiffusionConfig& config() const { return config_; }
+  std::vector<NodeId> Neighbors() const;
+
+  // Node failure injection.
+  void Kill();
+  void Revive();
+  bool alive() const { return alive_; }
+
+ private:
+  friend class FilterApi;
+
+  struct Subscription {
+    SubscriptionHandle handle = kInvalidHandle;
+    AttributeVector attrs;           // as given by the application
+    AttributeVector interest_attrs;  // with the implicit class actual
+    DataCallback callback;
+    bool local_only = false;  // subscription *for* interests
+    EventId refresh_event = kInvalidEventId;
+    EventId duration_event = kInvalidEventId;
+  };
+
+  struct Publication {
+    PublicationHandle handle = kInvalidHandle;
+    AttributeVector attrs;
+    uint64_t send_count = 0;
+  };
+
+  struct Filter {
+    FilterHandle handle = kInvalidHandle;
+    AttributeVector attrs;
+    int16_t priority = 0;
+    FilterCallback callback;
+  };
+
+  void OnRadioReceive(NodeId from, const std::vector<uint8_t>& bytes);
+
+  // Offers `message` to the highest-priority matching filter with priority
+  // strictly below `below_priority`; falls through to the core.
+  void DispatchToChain(Message message, int32_t below_priority);
+
+  // The diffusion core (terminal element of the filter chain).
+  void CoreProcess(Message& message);
+  void ProcessInterest(Message& message);
+  void ProcessData(Message& message);
+  void ProcessPositiveReinforcement(Message& message);
+  void ProcessNegativeReinforcement(Message& message);
+
+  // Serializes and transmits to message.next_hop, with accounting.
+  void TransmitMessage(const Message& message);
+
+  // Transmits after Uniform(0, forward_delay_jitter) to desynchronize
+  // concurrent forwarders of the same flood (hidden terminals).
+  void TransmitAfterJitter(Message message);
+
+  void FloodInterest(Subscription& subscription);
+  void ScheduleRefresh(SubscriptionHandle handle);
+
+  // Sends a (positive or negative) reinforcement for `entry` to `neighbor`.
+  void SendReinforcement(MessageType type, const InterestEntry& entry, NodeId neighbor);
+
+  // Delivers data attrs to local subscriptions matching them.
+  void DeliverLocalData(const Message& message);
+
+  // True when a local publication can satisfy the interest in `entry`
+  // (this node is a source for it).
+  bool IsSourceFor(const InterestEntry& entry) const;
+
+  uint32_t NextSeq() { return next_origin_seq_++; }
+
+  Simulator* sim_;
+  NodeId id_;
+  DiffusionConfig config_;
+  Radio radio_;
+  FilterApi filter_api_;
+
+  GradientTable gradients_;
+  DataCache seen_packets_;
+
+  std::map<SubscriptionHandle, Subscription> subscriptions_;
+  std::map<PublicationHandle, Publication> publications_;
+  std::map<FilterHandle, Filter> filters_;
+
+  std::unordered_map<NodeId, SimTime> neighbors_;
+  std::unordered_set<EventId> pending_transmits_;
+  Rng rng_;
+
+  uint32_t next_handle_ = 1;
+  uint32_t next_origin_seq_ = 1;
+  bool alive_ = true;
+  NodeStats stats_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_NODE_H_

@@ -1,0 +1,61 @@
+// In-network data caching (paper §3.1/§3.3).
+//
+// "Data is cached at intermediate nodes as it propagates toward sinks ...
+// cached data is also used for application-specific, in-network processing";
+// §6.1 lists "simple data caching" as an in-network-processing example. This
+// filter remembers recent data messages passing through its node and, when a
+// *new* interest arrives that some cached message already satisfies, replays
+// that message immediately — a late-joining sink gets the latest reading
+// from the nearest cache instead of waiting a full sensing interval.
+
+#ifndef SRC_FILTERS_CACHE_FILTER_H_
+#define SRC_FILTERS_CACHE_FILTER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/core/node.h"
+
+namespace diffusion {
+
+class CacheFilter {
+ public:
+  // `data_match_attrs`: formals selecting the data to cache (e.g.
+  // "class EQ data, type EQ temperature"). The filter also watches all
+  // interests; replay happens when a fresh interest two-way matches a cached
+  // message's attributes.
+  CacheFilter(DiffusionNode* node, AttributeVector data_match_attrs, int16_t priority,
+              size_t capacity = 16, SimDuration max_age = 60 * kSecond);
+  ~CacheFilter();
+
+  CacheFilter(const CacheFilter&) = delete;
+  CacheFilter& operator=(const CacheFilter&) = delete;
+
+  uint64_t cached() const { return cached_; }
+  uint64_t replays() const { return replays_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    AttributeVector attrs;
+    SimTime stored_at;
+  };
+
+  void OnData(Message& message, FilterApi& api);
+  void OnInterest(Message& message, FilterApi& api);
+  void EvictOld();
+
+  DiffusionNode* node_;
+  FilterHandle data_filter_ = kInvalidHandle;
+  FilterHandle interest_filter_ = kInvalidHandle;
+  size_t capacity_;
+  SimDuration max_age_;
+  std::deque<Entry> entries_;
+  DataCache replayed_interests_{256};
+  uint64_t cached_ = 0;
+  uint64_t replays_ = 0;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_FILTERS_CACHE_FILTER_H_

@@ -1,0 +1,143 @@
+#include "src/filters/counting_aggregation_filter.h"
+
+#include <algorithm>
+
+#include "src/naming/keys.h"
+
+namespace diffusion {
+namespace {
+
+constexpr size_t kEmittedWindow = 512;
+
+}  // namespace
+
+CountingAggregationFilter::CountingAggregationFilter(DiffusionNode* node,
+                                                     AttributeVector match_attrs,
+                                                     int16_t priority, SimDuration window,
+                                                     ConfidenceMerge merge)
+    : node_(node), api_(node), window_(window), merge_(merge) {
+  handle_ = node_->AddFilter(std::move(match_attrs), priority,
+                             [this](Message& message, FilterApi& api) { Run(message, api); });
+}
+
+CountingAggregationFilter::~CountingAggregationFilter() {
+  for (auto& [sequence, pending] : pending_) {
+    if (pending.emit_event != kInvalidEventId) {
+      node_->simulator().Cancel(pending.emit_event);
+    }
+  }
+  if (handle_ != kInvalidHandle) {
+    node_->RemoveFilter(handle_);
+  }
+}
+
+void CountingAggregationFilter::Run(Message& message, FilterApi& api) {
+  const Attribute* sequence_attr = FindActual(message.attrs, kKeySequence);
+  std::optional<int64_t> sequence =
+      sequence_attr != nullptr ? sequence_attr->AsInt() : std::nullopt;
+  if (!sequence.has_value()) {
+    api.SendMessage(std::move(message), handle_);
+    return;
+  }
+  if (seen_packets_.CheckAndInsert(message.PacketId())) {
+    return;  // another copy of a packet already folded in
+  }
+  if (emitted_.count(*sequence) > 0) {
+    // Aggregate already left this node; drop stragglers.
+    ++events_merged_;
+    return;
+  }
+
+  const Attribute* source_attr = FindActual(message.attrs, kKeySourceId);
+  const Attribute* confidence_attr = FindActual(message.attrs, kKeyConfidence);
+
+  auto it = pending_.find(*sequence);
+  if (it == pending_.end()) {
+    Pending pending;
+    pending.exemplar = message;
+    if (source_attr != nullptr) {
+      if (std::optional<int64_t> source = source_attr->AsInt()) {
+        pending.sources.insert(*source);
+      }
+    }
+    if (confidence_attr != nullptr) {
+      if (std::optional<double> confidence = confidence_attr->AsDouble()) {
+        MergeConfidence(&pending, *confidence);
+      }
+    }
+    const int64_t seq_value = *sequence;
+    pending.emit_event =
+        node_->simulator().After(window_, [this, seq_value] { Emit(seq_value); });
+    pending_.emplace(seq_value, std::move(pending));
+    return;
+  }
+
+  // Merge a concurrent detection of the same event.
+  ++events_merged_;
+  Pending& pending = it->second;
+  if (source_attr != nullptr) {
+    if (std::optional<int64_t> source = source_attr->AsInt()) {
+      pending.sources.insert(*source);
+    }
+  }
+  if (confidence_attr != nullptr) {
+    if (std::optional<double> confidence = confidence_attr->AsDouble()) {
+      MergeConfidence(&pending, *confidence);
+    }
+  }
+}
+
+void CountingAggregationFilter::MergeConfidence(Pending* pending, double confidence) const {
+  if (!pending->has_confidence) {
+    pending->merged_confidence = confidence;
+    pending->has_confidence = true;
+    return;
+  }
+  switch (merge_) {
+    case ConfidenceMerge::kMax:
+      pending->merged_confidence = std::max(pending->merged_confidence, confidence);
+      break;
+    case ConfidenceMerge::kProbabilisticOr: {
+      // Independent-evidence fusion; meaningful for confidences in [0, 1].
+      const double a = std::clamp(pending->merged_confidence, 0.0, 1.0);
+      const double b = std::clamp(confidence, 0.0, 1.0);
+      pending->merged_confidence = 1.0 - (1.0 - a) * (1.0 - b);
+      break;
+    }
+  }
+}
+
+void CountingAggregationFilter::Emit(int64_t sequence) {
+  auto it = pending_.find(sequence);
+  if (it == pending_.end()) {
+    return;
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  Message out = std::move(pending.exemplar);
+  // The merged message is a new message originated here.
+  out.origin = api_.node_id();
+  out.origin_seq = api_.NewOriginSeq();
+  RemoveAttributes(&out.attrs, kKeyDetectionCount);
+  out.attrs.push_back(Attribute::Int32(kKeyDetectionCount, AttrOp::kIs,
+                                       static_cast<int32_t>(std::max<size_t>(
+                                           pending.sources.size(), 1))));
+  if (pending.has_confidence) {
+    RemoveAttributes(&out.attrs, kKeyConfidence);
+    out.attrs.push_back(
+        Attribute::Float64(kKeyConfidence, AttrOp::kIs, pending.merged_confidence));
+  }
+
+  emitted_.insert(sequence);
+  emitted_order_.push_back(sequence);
+  while (emitted_order_.size() > kEmittedWindow) {
+    emitted_.erase(emitted_order_.front());
+    emitted_order_.pop_front();
+  }
+
+  ++aggregates_emitted_;
+  api_.SendMessage(std::move(out), handle_);
+}
+
+}  // namespace diffusion

@@ -1,0 +1,85 @@
+// Counting/fusing aggregation (paper §3.3, §5.1).
+//
+// "A more sophisticated filter could count the number of detecting sensors
+// and add that as an additional attribute, or it could generate some kind of
+// aggregate 'confidence' rating." This filter holds the first copy of each
+// event for a short aggregation window, merges concurrent detections of the
+// same event (same sequence number) from different sources, then emits a
+// single message annotated with the detection count and a merged confidence.
+// Unlike DuplicateSuppressionFilter it trades latency (one window) for
+// richer aggregates — the §6.1 latency discussion.
+//
+// Two confidence-merge rules:
+//   kMax             — report the strongest single detection.
+//   kProbabilisticOr — treat detections as independent evidence:
+//                      1 - ∏(1 - cᵢ) over confidences in [0, 1]. This is
+//                      §5.1's sensor-fusion example: "seismic and infrared
+//                      sensors indicate 80% chance of detection" (0.5 and
+//                      0.6 fuse to exactly 0.8).
+
+#ifndef SRC_FILTERS_COUNTING_AGGREGATION_FILTER_H_
+#define SRC_FILTERS_COUNTING_AGGREGATION_FILTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/core/data_cache.h"
+#include "src/core/node.h"
+
+namespace diffusion {
+
+enum class ConfidenceMerge {
+  kMax,
+  kProbabilisticOr,
+};
+
+class CountingAggregationFilter {
+ public:
+  CountingAggregationFilter(DiffusionNode* node, AttributeVector match_attrs, int16_t priority,
+                            SimDuration window, ConfidenceMerge merge = ConfidenceMerge::kMax);
+  ~CountingAggregationFilter();
+
+  CountingAggregationFilter(const CountingAggregationFilter&) = delete;
+  CountingAggregationFilter& operator=(const CountingAggregationFilter&) = delete;
+
+  uint64_t aggregates_emitted() const { return aggregates_emitted_; }
+  uint64_t events_merged() const { return events_merged_; }
+
+ private:
+  struct Pending {
+    Message exemplar;
+    std::unordered_set<int64_t> sources;
+    double merged_confidence = 0.0;
+    bool has_confidence = false;
+    EventId emit_event = kInvalidEventId;
+  };
+
+  void MergeConfidence(Pending* pending, double confidence) const;
+
+  void Run(Message& message, FilterApi& api);
+  void Emit(int64_t sequence);
+
+  DiffusionNode* node_;
+  FilterApi api_;
+  FilterHandle handle_ = kInvalidHandle;
+  SimDuration window_;
+  ConfidenceMerge merge_;
+
+  std::unordered_map<int64_t, Pending> pending_;
+  std::unordered_set<int64_t> emitted_;
+  std::deque<int64_t> emitted_order_;
+  // Duplicate copies of one packet (flood echoes arriving via several
+  // neighbors) must not merge their evidence twice — probabilistic-OR fusion
+  // is not idempotent. The core's own duplicate cache sits *below* this
+  // filter in the chain, so the filter dedupes itself.
+  DataCache seen_packets_{1024};
+
+  uint64_t aggregates_emitted_ = 0;
+  uint64_t events_merged_ = 0;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_FILTERS_COUNTING_AGGREGATION_FILTER_H_

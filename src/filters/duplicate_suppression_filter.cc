@@ -1,0 +1,44 @@
+#include "src/filters/duplicate_suppression_filter.h"
+
+#include "src/naming/keys.h"
+
+namespace diffusion {
+
+DuplicateSuppressionFilter::DuplicateSuppressionFilter(DiffusionNode* node,
+                                                       AttributeVector match_attrs,
+                                                       int16_t priority, size_t window)
+    : node_(node), window_(window) {
+  handle_ = node_->AddFilter(std::move(match_attrs), priority,
+                             [this](Message& message, FilterApi& api) { Run(message, api); });
+}
+
+DuplicateSuppressionFilter::~DuplicateSuppressionFilter() {
+  if (handle_ != kInvalidHandle) {
+    node_->RemoveFilter(handle_);
+  }
+}
+
+void DuplicateSuppressionFilter::Run(Message& message, FilterApi& api) {
+  const Attribute* sequence = FindActual(message.attrs, kKeySequence);
+  std::optional<int64_t> value = sequence != nullptr ? sequence->AsInt() : std::nullopt;
+  if (!value.has_value()) {
+    api.SendMessage(std::move(message), handle_);
+    return;
+  }
+  if (seen_.count(*value) > 0) {
+    // A concurrent detection of the same event already went through this
+    // node; suppress by simply not propagating (§5.1).
+    ++suppressed_;
+    return;
+  }
+  seen_.insert(*value);
+  order_.push_back(*value);
+  while (order_.size() > window_) {
+    seen_.erase(order_.front());
+    order_.pop_front();
+  }
+  ++passed_;
+  api.SendMessage(std::move(message), handle_);
+}
+
+}  // namespace diffusion

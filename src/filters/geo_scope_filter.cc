@@ -1,0 +1,119 @@
+#include "src/filters/geo_scope_filter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/naming/keys.h"
+
+namespace diffusion {
+
+void GeoRect::ExpandToInclude(double x, double y) {
+  x_min = std::min(x_min, x);
+  x_max = std::max(x_max, x);
+  y_min = std::min(y_min, y);
+  y_max = std::max(y_max, y);
+}
+
+void GeoRect::Inflate(double margin) {
+  x_min -= margin;
+  x_max += margin;
+  y_min -= margin;
+  y_max += margin;
+}
+
+std::optional<GeoRect> RectFromInterest(const AttributeVector& attrs) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double x_min = -kInf;
+  double x_max = kInf;
+  double y_min = -kInf;
+  double y_max = kInf;
+  bool any = false;
+  for (const Attribute& attr : attrs) {
+    if (attr.key() != kKeyXCoord && attr.key() != kKeyYCoord) {
+      continue;
+    }
+    const std::optional<double> value = attr.AsDouble();
+    if (!value.has_value()) {
+      continue;
+    }
+    double* lower = attr.key() == kKeyXCoord ? &x_min : &y_min;
+    double* upper = attr.key() == kKeyXCoord ? &x_max : &y_max;
+    switch (attr.op()) {
+      case AttrOp::kGe:
+      case AttrOp::kGt:
+        *lower = std::max(*lower, *value);
+        any = true;
+        break;
+      case AttrOp::kLe:
+      case AttrOp::kLt:
+        *upper = std::min(*upper, *value);
+        any = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (!any || x_min == -kInf || x_max == kInf || y_min == -kInf || y_max == kInf) {
+    return std::nullopt;
+  }
+  return GeoRect{x_min, x_max, y_min, y_max};
+}
+
+GeoScopeFilter::GeoScopeFilter(DiffusionNode* node, Position own_position, double slack,
+                               int16_t priority)
+    : node_(node), position_(own_position), slack_(slack) {
+  // Trigger on every interest arriving at (or originated by) this node.
+  AttributeVector match_attrs = {ClassEq(kClassInterest)};
+  handle_ = node_->AddFilter(std::move(match_attrs), priority,
+                             [this](Message& message, FilterApi& api) { Run(message, api); });
+}
+
+GeoScopeFilter::~GeoScopeFilter() {
+  if (handle_ != kInvalidHandle) {
+    node_->RemoveFilter(handle_);
+  }
+}
+
+void GeoScopeFilter::Run(Message& message, FilterApi& api) {
+  if (message.type != MessageType::kInterest) {
+    // Reinforcements share the interest's attributes; only the flood itself
+    // is scoped.
+    api.SendMessage(std::move(message), handle_);
+    return;
+  }
+  if (message.origin == api.node_id()) {
+    // The sink's own interests always proceed.
+    ++passed_;
+    api.SendMessage(std::move(message), handle_);
+    return;
+  }
+  std::optional<GeoRect> rect = RectFromInterest(message.attrs);
+  if (!rect.has_value()) {
+    // Not geographically constrained: nothing to scope.
+    ++passed_;
+    api.SendMessage(std::move(message), handle_);
+    return;
+  }
+  // Corridor: region plus the sink's position (so the return path survives),
+  // inflated by the slack margin.
+  const Attribute* sink_x = FindActual(message.attrs, kKeySinkX);
+  const Attribute* sink_y = FindActual(message.attrs, kKeySinkY);
+  if (sink_x != nullptr && sink_y != nullptr) {
+    const std::optional<double> sx = sink_x->AsDouble();
+    const std::optional<double> sy = sink_y->AsDouble();
+    if (sx.has_value() && sy.has_value()) {
+      rect->ExpandToInclude(*sx, *sy);
+    }
+  }
+  rect->Inflate(slack_);
+  if (rect->Contains(position_.x, position_.y)) {
+    ++passed_;
+    api.SendMessage(std::move(message), handle_);
+    return;
+  }
+  // Outside the corridor: suppress — the interest is neither remembered nor
+  // re-flooded here, so no gradients form through this node.
+  ++pruned_;
+}
+
+}  // namespace diffusion

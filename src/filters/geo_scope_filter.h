@@ -1,0 +1,66 @@
+// Geographically-scoped interest flooding (paper §4.2/§7).
+//
+// "In our current implementation interests and exploratory messages are
+// flooded through the network ... We are currently exploring using filters
+// to optimize diffusion (avoiding flooding) with geographic information."
+// This filter is that optimization: it intercepts interests that carry a
+// rectangular region (x/y GE/LE formals) and suppresses re-flooding at nodes
+// that lie outside the corridor spanned by the region and the originating
+// sink (whose position rides along as kKeySinkX/kKeySinkY actuals), inflated
+// by a slack margin. Nodes inside the corridor pass the interest to the core
+// unchanged.
+
+#ifndef SRC_FILTERS_GEO_SCOPE_FILTER_H_
+#define SRC_FILTERS_GEO_SCOPE_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/core/node.h"
+#include "src/radio/position.h"
+
+namespace diffusion {
+
+// Axis-aligned rectangle extracted from an interest's coordinate formals.
+struct GeoRect {
+  double x_min = 0.0;
+  double x_max = 0.0;
+  double y_min = 0.0;
+  double y_max = 0.0;
+
+  bool Contains(double x, double y) const {
+    return x >= x_min && x <= x_max && y >= y_min && y <= y_max;
+  }
+  void ExpandToInclude(double x, double y);
+  void Inflate(double margin);
+};
+
+// Parses x/y GE|GT (lower bound) and LE|LT (upper bound) formals into a
+// rectangle; nullopt when the interest does not constrain both axes.
+std::optional<GeoRect> RectFromInterest(const AttributeVector& attrs);
+
+class GeoScopeFilter {
+ public:
+  GeoScopeFilter(DiffusionNode* node, Position own_position, double slack, int16_t priority);
+  ~GeoScopeFilter();
+
+  GeoScopeFilter(const GeoScopeFilter&) = delete;
+  GeoScopeFilter& operator=(const GeoScopeFilter&) = delete;
+
+  uint64_t passed() const { return passed_; }
+  uint64_t pruned() const { return pruned_; }
+
+ private:
+  void Run(Message& message, FilterApi& api);
+
+  DiffusionNode* node_;
+  FilterHandle handle_ = kInvalidHandle;
+  Position position_;
+  double slack_;
+  uint64_t passed_ = 0;
+  uint64_t pruned_ = 0;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_FILTERS_GEO_SCOPE_FILTER_H_

@@ -1,0 +1,33 @@
+#include "src/filters/logging_filter.h"
+
+#include "src/util/logging.h"
+
+namespace diffusion {
+
+LoggingFilter::LoggingFilter(DiffusionNode* node, AttributeVector match_attrs, int16_t priority,
+                             bool log_to_stderr)
+    : node_(node), log_to_stderr_(log_to_stderr) {
+  handle_ = node_->AddFilter(std::move(match_attrs), priority,
+                             [this](Message& message, FilterApi& api) { Run(message, api); });
+}
+
+LoggingFilter::~LoggingFilter() {
+  if (handle_ != kInvalidHandle) {
+    node_->RemoveFilter(handle_);
+  }
+}
+
+void LoggingFilter::Run(Message& message, FilterApi& api) {
+  ++total_;
+  ++counts_[static_cast<size_t>(message.type)];
+  if (observer_) {
+    observer_(message);
+  }
+  if (log_to_stderr_) {
+    DIFFUSION_LOG(kInfo) << "node " << api.node_id() << " t=" << api.now() << " "
+                         << message.ToString();
+  }
+  api.SendMessage(std::move(message), handle_);
+}
+
+}  // namespace diffusion

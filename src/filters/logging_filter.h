@@ -1,0 +1,50 @@
+// Monitoring/debugging filter (paper §3.3: "in addition to these
+// applications, we have found them very useful for debugging and
+// monitoring"). Observes matching traffic, counts it by message type, and
+// passes everything through unchanged.
+
+#ifndef SRC_FILTERS_LOGGING_FILTER_H_
+#define SRC_FILTERS_LOGGING_FILTER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "src/core/node.h"
+
+namespace diffusion {
+
+class LoggingFilter {
+ public:
+  using Observer = std::function<void(const Message& message)>;
+
+  // `match_attrs` empty ⇒ observe everything (no formals to satisfy).
+  LoggingFilter(DiffusionNode* node, AttributeVector match_attrs, int16_t priority,
+                bool log_to_stderr = false);
+  ~LoggingFilter();
+
+  LoggingFilter(const LoggingFilter&) = delete;
+  LoggingFilter& operator=(const LoggingFilter&) = delete;
+
+  // Optional hook invoked for every observed message.
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
+  uint64_t total() const { return total_; }
+  uint64_t CountFor(MessageType type) const {
+    return counts_[static_cast<size_t>(type)];
+  }
+
+ private:
+  void Run(Message& message, FilterApi& api);
+
+  DiffusionNode* node_;
+  FilterHandle handle_ = kInvalidHandle;
+  bool log_to_stderr_;
+  Observer observer_;
+  uint64_t total_ = 0;
+  std::array<uint64_t, 5> counts_{};
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_FILTERS_LOGGING_FILTER_H_

@@ -1,0 +1,58 @@
+// Tiered deployment gateway (paper §4.3).
+//
+// "We envisage deployment of a tiered architecture ... Less
+// resource-constrained nodes will form the highest tier and act as gateways
+// to the second tier [of] motes running micro-diffusion." The gateway owns a
+// full DiffusionNode on the upper-tier channel and a MicroNode on the mote
+// channel. For each bridged tag it: (1) waits for a matching full-tier
+// interest, (2) sub-tasks the mote tier with a micro interest, and (3)
+// republishes mote readings as attribute-named data in the full tier.
+
+#ifndef SRC_MICRO_MICRO_GATEWAY_H_
+#define SRC_MICRO_MICRO_GATEWAY_H_
+
+#include <map>
+#include <memory>
+
+#include "src/core/node.h"
+#include "src/micro/micro_node.h"
+
+namespace diffusion {
+
+class MicroGateway {
+ public:
+  // `full` and `micro` are borrowed; they may sit on the same or different
+  // channels (the paper's tiers use different radios).
+  MicroGateway(DiffusionNode* full, MicroNode* micro);
+  ~MicroGateway();
+
+  // Bridges mote readings with tag `tag` into the full tier as data carrying
+  // `full_data_attrs` (actuals describing the reading; a kKeyMicroValue
+  // actual with the reading is appended to each message). The mote tier is
+  // only tasked once a matching full-tier interest arrives.
+  void Bridge(MicroTag tag, AttributeVector full_data_attrs);
+
+  uint64_t readings_bridged() const { return readings_bridged_; }
+  bool TagTasked(MicroTag tag) const;
+
+ private:
+  struct Binding {
+    AttributeVector data_attrs;
+    PublicationHandle publication = kInvalidHandle;
+    SubscriptionHandle interest_watch = kInvalidHandle;
+    bool tasked = false;
+    uint32_t reading_seq = 0;
+  };
+
+  void OnFullTierInterest(MicroTag tag);
+  void OnMicroData(MicroTag tag, int32_t value, NodeId origin);
+
+  DiffusionNode* full_;
+  MicroNode* micro_;
+  std::map<MicroTag, Binding> bindings_;
+  uint64_t readings_bridged_ = 0;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_MICRO_MICRO_GATEWAY_H_

@@ -1,0 +1,101 @@
+#include "src/micro/micro_wire.h"
+
+#include "src/naming/keys.h"
+
+namespace diffusion {
+namespace {
+
+void PutU16(uint8_t* out, uint16_t value) {
+  out[0] = static_cast<uint8_t>(value);
+  out[1] = static_cast<uint8_t>(value >> 8);
+}
+
+void PutU32(uint8_t* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint16_t GetU16(const uint8_t* data) {
+  return static_cast<uint16_t>(data[0] | (data[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* data) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | data[i];
+  }
+  return value;
+}
+
+// One int32 actual: key u32 | op u8 (IS) | type u8 (int32) | value i32.
+void PutInt32Actual(uint8_t* out, uint32_t key, int32_t value) {
+  PutU32(out, key);
+  out[4] = 0;  // AttrOp::kIs
+  out[5] = 0;  // AttrType::kInt32
+  PutU32(out + 6, static_cast<uint32_t>(value));
+}
+
+// Returns true and fills key/value if the 10 bytes at `data` are an int32
+// actual.
+bool GetInt32Actual(const uint8_t* data, uint32_t* key, int32_t* value) {
+  if (data[4] != 0 || data[5] != 0) {
+    return false;
+  }
+  *key = GetU32(data);
+  *value = static_cast<int32_t>(GetU32(data + 6));
+  return true;
+}
+
+}  // namespace
+
+size_t MicroEncode(const MicroMessage& message, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(message.type);
+  PutU32(out + 1, message.origin);
+  PutU32(out + 5, message.origin_seq);
+  out[9] = message.ttl;
+  const uint16_t attr_count = message.has_value ? 2 : 1;
+  PutU16(out + 10, attr_count);
+  PutInt32Actual(out + 12, kKeyMicroTag, static_cast<int32_t>(message.tag));
+  if (message.has_value) {
+    PutInt32Actual(out + 22, kKeyMicroValue, message.value);
+    return kMicroDataWireSize;
+  }
+  return kMicroInterestWireSize;
+}
+
+bool MicroDecode(const uint8_t* data, size_t size, MicroMessage* out) {
+  if (size != kMicroInterestWireSize && size != kMicroDataWireSize) {
+    return false;
+  }
+  if (data[0] > static_cast<uint8_t>(MessageType::kNegativeReinforcement)) {
+    return false;
+  }
+  MicroMessage message;
+  message.type = static_cast<MessageType>(data[0]);
+  message.origin = GetU32(data + 1);
+  message.origin_seq = GetU32(data + 5);
+  message.ttl = data[9];
+  const uint16_t attr_count = GetU16(data + 10);
+  if ((attr_count == 1) != (size == kMicroInterestWireSize) ||
+      (attr_count == 2) != (size == kMicroDataWireSize)) {
+    return false;
+  }
+  uint32_t key;
+  int32_t value;
+  if (!GetInt32Actual(data + 12, &key, &value) || key != kKeyMicroTag) {
+    return false;
+  }
+  message.tag = static_cast<MicroTag>(value);
+  if (attr_count == 2) {
+    if (!GetInt32Actual(data + 22, &key, &value) || key != kKeyMicroValue) {
+      return false;
+    }
+    message.has_value = true;
+    message.value = value;
+  }
+  *out = message;
+  return true;
+}
+
+}  // namespace diffusion

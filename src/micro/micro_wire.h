@@ -1,0 +1,49 @@
+// Micro-diffusion wire format (paper §4.3).
+//
+// "Although reduced in size, the logical header format is compatible with
+// that of the full diffusion implementation." A micro message is encoded
+// exactly as a full diffusion Message whose attribute vector is one int32
+// actual (kKeyMicroTag) for interests, or two (tag + kKeyMicroValue) for
+// data — so either implementation can parse the other's packets. The encoder
+// below is hand-rolled against fixed-size buffers: no allocation, suitable
+// for an 8-bit target.
+
+#ifndef SRC_MICRO_MICRO_WIRE_H_
+#define SRC_MICRO_MICRO_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/message.h"
+#include "src/radio/position.h"
+
+namespace diffusion {
+
+using MicroTag = uint16_t;
+
+struct MicroMessage {
+  MessageType type = MessageType::kData;
+  NodeId origin = 0;
+  uint32_t origin_seq = 0;
+  uint8_t ttl = 8;
+  MicroTag tag = 0;
+  bool has_value = false;
+  int32_t value = 0;
+};
+
+// Fixed encoding sizes: header 12 B, each int32 attribute 10 B.
+constexpr size_t kMicroInterestWireSize = 12 + 10;
+constexpr size_t kMicroDataWireSize = 12 + 10 + 10;
+constexpr size_t kMicroMaxWireSize = kMicroDataWireSize;
+
+// Encodes into `out` (at least kMicroMaxWireSize bytes); returns the number
+// of bytes written.
+size_t MicroEncode(const MicroMessage& message, uint8_t* out);
+
+// Decodes `size` bytes; returns false on any malformed or non-micro-shaped
+// input.
+bool MicroDecode(const uint8_t* data, size_t size, MicroMessage* out);
+
+}  // namespace diffusion
+
+#endif  // SRC_MICRO_MICRO_WIRE_H_

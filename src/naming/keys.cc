@@ -1,0 +1,52 @@
+#include "src/naming/keys.h"
+
+namespace diffusion {
+
+Attribute ClassIs(MessageClassValue value) {
+  return Attribute::Int32(kKeyClass, AttrOp::kIs, value);
+}
+
+Attribute ClassEq(MessageClassValue value) {
+  return Attribute::Int32(kKeyClass, AttrOp::kEq, value);
+}
+
+std::string KeyName(AttrKey key) {
+  switch (key) {
+    case kKeyClass:
+      return "class";
+    case kKeyScope:
+      return "scope";
+    case kKeyTask:
+      return "task";
+    case kKeyType:
+      return "type";
+    case kKeyInterval:
+      return "interval";
+    case kKeyDuration:
+      return "duration";
+    case kKeyXCoord:
+      return "x";
+    case kKeyYCoord:
+      return "y";
+    case kKeyTarget:
+      return "target";
+    case kKeyConfidence:
+      return "confidence";
+    case kKeyInstance:
+      return "instance";
+    case kKeyIntensity:
+      return "intensity";
+    case kKeyTimestamp:
+      return "timestamp";
+    case kKeySequence:
+      return "sequence";
+    case kKeySourceId:
+      return "source-id";
+    case kKeySubtype:
+      return "subtype";
+    default:
+      return std::to_string(key);
+  }
+}
+
+}  // namespace diffusion

@@ -1,0 +1,70 @@
+// Well-known attribute keys (the shared, pre-deployment frame of reference).
+//
+// The paper assumes "out-of-band coordination" of key values, "just as
+// Internet protocol numbers are assigned" (§3.2). This header is that
+// registry for the library and all applications shipped with it.
+
+#ifndef SRC_NAMING_KEYS_H_
+#define SRC_NAMING_KEYS_H_
+
+#include <string>
+
+#include "src/naming/attribute.h"
+
+namespace diffusion {
+
+// Reserved keys 1..99 belong to the diffusion core and shared vocabulary;
+// applications register their own keys at 1000+.
+enum WellKnownKey : AttrKey {
+  kKeyClass = 1,      // int32 MessageClass: interest vs data (implicit attribute)
+  kKeyScope = 2,      // int32 MessageScope: node-local vs network-wide
+  kKeyTask = 3,       // string: task name, e.g. "detectAnimal"
+  kKeyType = 4,       // string: sensor/data type, e.g. "four-legged-animal-search"
+  kKeyInterval = 5,   // int32: desired data interval, milliseconds
+  kKeyDuration = 6,   // int32: task lifetime, milliseconds
+  kKeyXCoord = 7,     // float64: x/longitude coordinate
+  kKeyYCoord = 8,     // float64: y/latitude coordinate
+  kKeyTarget = 9,     // string: e.g. "4-leg"
+  kKeyConfidence = 10,  // float64 in [0,100]
+  kKeyInstance = 11,  // string: what was seen, e.g. "elephant"
+  kKeyIntensity = 12,  // float64
+  kKeyTimestamp = 13,  // int64: microseconds (experiments use sequence numbers)
+  kKeySequence = 14,  // int32: per-source event sequence number (§6.1)
+  kKeySourceId = 15,  // int32: originating application/sensor id
+  kKeySubtype = 16,   // string: refinement of kKeyType (§3.2 sub-attributes)
+  kKeySinkX = 17,     // float64: position of the interest's originating sink,
+  kKeySinkY = 18,     //   carried as actuals so geo filters can scope floods
+  kKeyDetectionCount = 19,  // int32: #sensors merged into an aggregate (§3.3)
+
+  // Micro-diffusion (§4.3) condenses attributes to a single tag; these two
+  // keys define its wire-compatible encoding in full-diffusion terms.
+  kKeyMicroTag = 30,    // int32: the tag
+  kKeyMicroValue = 31,  // int32: the sensor reading
+
+  kKeyFirstApplication = 1000,
+};
+
+// Values for kKeyClass. "class IS interest" is added implicitly to interests
+// (§3.2); data replies carry "class IS data".
+enum MessageClassValue : int32_t {
+  kClassInterest = 0,
+  kClassData = 1,
+};
+
+// Values for kKeyScope.
+enum MessageScopeValue : int32_t {
+  kScopeNodeLocal = 0,
+  kScopeNetwork = 1,
+};
+
+// Convenience constructors for the implicit class attribute.
+Attribute ClassIs(MessageClassValue value);
+Attribute ClassEq(MessageClassValue value);
+
+// Human-readable name of a well-known key ("class", "interval", ...);
+// unknown keys render as their number.
+std::string KeyName(AttrKey key);
+
+}  // namespace diffusion
+
+#endif  // SRC_NAMING_KEYS_H_

@@ -1,0 +1,81 @@
+#include "src/naming/matching.h"
+
+#include <algorithm>
+
+#include "src/util/byte_buffer.h"
+
+namespace diffusion {
+
+bool OneWayMatch(const AttributeVector& a, const AttributeVector& b) {
+  // Direct transcription of Figure 2.
+  for (const Attribute& formal : a) {
+    if (!formal.IsFormal()) {
+      continue;
+    }
+    bool matched = false;
+    for (const Attribute& actual : b) {
+      if (actual.key() == formal.key() && actual.IsActual() && formal.MatchesActual(actual)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TwoWayMatch(const AttributeVector& a, const AttributeVector& b) {
+  return OneWayMatch(a, b) && OneWayMatch(b, a);
+}
+
+bool ExactMatch(const AttributeVector& a, const AttributeVector& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  // Order-insensitive multiset equality. Attribute sets are small (the paper
+  // reports 6-30 attributes), so quadratic matching with a used-mask is
+  // cheaper than sorting through a comparator.
+  std::vector<bool> used(b.size(), false);
+  for (const Attribute& attr : a) {
+    bool found = false;
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (!used[i] && attr == b[i]) {
+        used[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t HashAttributes(const AttributeVector& attrs) {
+  // FNV-1a over each attribute's wire encoding. Per-attribute hashes are
+  // folded through two independent commutative accumulators (sum and xor) so
+  // that attribute order does not change the result.
+  uint64_t sum = 0;
+  uint64_t xor_acc = 0;
+  for (const Attribute& attr : attrs) {
+    ByteWriter writer;
+    attr.Serialize(&writer);
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint8_t byte : writer.data()) {
+      h ^= byte;
+      h *= 0x100000001b3ULL;
+    }
+    sum += h * 0x9e3779b97f4a7c15ULL;
+    xor_acc ^= h;
+  }
+  uint64_t combined = sum ^ (xor_acc * 0xff51afd7ed558ccdULL) ^ attrs.size();
+  combined ^= combined >> 33;
+  combined *= 0xc4ceb9fe1a85ec53ULL;
+  combined ^= combined >> 33;
+  return combined;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,114 @@
+#include "src/radio/channel.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace diffusion {
+
+Channel::Channel(Simulator* sim, std::unique_ptr<PropagationModel> propagation)
+    : sim_(sim), propagation_(std::move(propagation)), rng_(sim->rng().Fork()) {}
+
+void Channel::Attach(ChannelEndpoint* endpoint) { endpoints_[endpoint->node_id()] = endpoint; }
+
+void Channel::Detach(NodeId node) {
+  endpoints_.erase(node);
+  ongoing_.erase(node);
+}
+
+bool Channel::CarrierBusyAt(NodeId node) const {
+  for (const auto& [id, tx] : active_) {
+    if (tx.sender == node || propagation_->Reaches(tx.sender, node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
+  const uint64_t tx_id = next_tx_id_++;
+  ++stats_.transmissions;
+
+  ActiveTx tx;
+  tx.sender = sender;
+  tx.fragment = std::move(fragment);
+  tx.start = sim_->now();
+  tx.duration = duration;
+
+  // Half-duplex: the sender's own in-progress receptions are destroyed.
+  auto self_it = ongoing_.find(sender);
+  if (self_it != ongoing_.end()) {
+    for (const auto& [other_tx, index] : self_it->second) {
+      active_[other_tx].receptions[index].corrupted = true;
+    }
+  }
+
+  for (auto& [node, endpoint] : endpoints_) {
+    if (node == sender || !endpoint->IsAlive() || !endpoint->IsAwake() ||
+        !propagation_->Reaches(sender, node)) {
+      continue;
+    }
+    ++stats_.receptions_attempted;
+    bool corrupted = endpoint->IsTransmitting();
+    // Overlap with anything already in the air at this receiver corrupts
+    // both frames (no capture).
+    auto& in_air = ongoing_[node];
+    if (!in_air.empty()) {
+      corrupted = true;
+      for (const auto& [other_tx, index] : in_air) {
+        active_[other_tx].receptions[index].corrupted = true;
+      }
+    }
+    tx.receptions.push_back(Reception{node, corrupted});
+    in_air.emplace_back(tx_id, tx.receptions.size() - 1);
+  }
+
+  active_.emplace(tx_id, std::move(tx));
+  sim_->After(duration, [this, tx_id] { FinishTransmit(tx_id); });
+}
+
+void Channel::FinishTransmit(uint64_t tx_id) {
+  auto it = active_.find(tx_id);
+  if (it == active_.end()) {
+    return;
+  }
+  ActiveTx tx = std::move(it->second);
+  active_.erase(it);
+
+  for (size_t i = 0; i < tx.receptions.size(); ++i) {
+    const Reception& reception = tx.receptions[i];
+    // Unregister this reception from the receiver's in-air list.
+    auto in_air_it = ongoing_.find(reception.receiver);
+    if (in_air_it != ongoing_.end()) {
+      auto& list = in_air_it->second;
+      for (auto list_it = list.begin(); list_it != list.end(); ++list_it) {
+        if (list_it->first == tx_id && list_it->second == i) {
+          list.erase(list_it);
+          break;
+        }
+      }
+      if (list.empty()) {
+        ongoing_.erase(in_air_it);
+      }
+    }
+
+    auto endpoint_it = endpoints_.find(reception.receiver);
+    if (endpoint_it == endpoints_.end() || !endpoint_it->second->IsAlive()) {
+      continue;
+    }
+    if (reception.corrupted) {
+      ++stats_.collisions;
+      continue;
+    }
+    const double probability =
+        propagation_->DeliveryProbability(tx.sender, reception.receiver, tx.start);
+    if (!rng_.NextBool(probability)) {
+      ++stats_.propagation_losses;
+      continue;
+    }
+    ++stats_.deliveries;
+    endpoint_it->second->OnFrameDelivered(tx.fragment, tx.duration);
+  }
+}
+
+}  // namespace diffusion

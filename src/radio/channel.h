@@ -1,0 +1,93 @@
+// Shared broadcast channel with interference.
+//
+// The channel owns the propagation model and delivers every transmission to
+// all reachable, living endpoints. Two transmissions that overlap in time at
+// a receiver corrupt each other there (no capture effect), which is what
+// produces the hidden-terminal losses the paper's testbed suffered. A node
+// that is itself transmitting cannot receive (half-duplex).
+
+#ifndef SRC_RADIO_CHANNEL_H_
+#define SRC_RADIO_CHANNEL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/radio/fragmentation.h"
+#include "src/radio/position.h"
+#include "src/radio/propagation.h"
+#include "src/sim/simulator.h"
+
+namespace diffusion {
+
+// A node's attachment point to the channel.
+class ChannelEndpoint {
+ public:
+  virtual ~ChannelEndpoint() = default;
+  virtual NodeId node_id() const = 0;
+  virtual bool IsAlive() const = 0;
+  virtual bool IsTransmitting() const = 0;
+  // False while the radio sleeps in a duty-cycle off-window: nothing is
+  // heard, no receive energy is spent.
+  virtual bool IsAwake() const { return true; }
+  // Called when a frame decodes successfully at this node. `airtime` is how
+  // long the radio spent receiving it (for energy accounting).
+  virtual void OnFrameDelivered(const Fragment& fragment, SimDuration airtime) = 0;
+};
+
+struct ChannelStats {
+  uint64_t transmissions = 0;
+  uint64_t receptions_attempted = 0;  // (tx, reachable receiver) pairs
+  uint64_t collisions = 0;            // receptions lost to overlap/half-duplex
+  uint64_t propagation_losses = 0;    // receptions lost to link quality
+  uint64_t deliveries = 0;
+};
+
+class Channel {
+ public:
+  Channel(Simulator* sim, std::unique_ptr<PropagationModel> propagation);
+
+  void Attach(ChannelEndpoint* endpoint);
+  void Detach(NodeId node);
+
+  // True if any in-flight transmission puts energy at `node` (including the
+  // node's own transmission).
+  bool CarrierBusyAt(NodeId node) const;
+
+  // Puts `fragment` on the air for `duration`. Reception outcomes resolve
+  // when the transmission ends.
+  void Transmit(NodeId sender, Fragment fragment, SimDuration duration);
+
+  PropagationModel& propagation() { return *propagation_; }
+  const ChannelStats& stats() const { return stats_; }
+  Simulator& simulator() { return *sim_; }
+
+ private:
+  struct Reception {
+    NodeId receiver;
+    bool corrupted;
+  };
+  struct ActiveTx {
+    NodeId sender;
+    Fragment fragment;
+    SimTime start;
+    SimDuration duration;
+    std::vector<Reception> receptions;
+  };
+
+  void FinishTransmit(uint64_t tx_id);
+
+  Simulator* sim_;
+  std::unique_ptr<PropagationModel> propagation_;
+  Rng rng_;
+  std::unordered_map<NodeId, ChannelEndpoint*> endpoints_;
+  uint64_t next_tx_id_ = 1;
+  std::unordered_map<uint64_t, ActiveTx> active_;
+  // receiver -> list of (tx id, reception index) currently in the air at it
+  std::unordered_map<NodeId, std::vector<std::pair<uint64_t, size_t>>> ongoing_;
+  ChannelStats stats_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_CHANNEL_H_

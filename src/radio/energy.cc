@@ -1,0 +1,33 @@
+#include "src/radio/energy.h"
+
+#include <algorithm>
+
+namespace diffusion {
+
+TimeShares PaperTimeShares() { return TimeShares{40.0, 3.0, 1.0}; }
+
+double TotalEnergy(double duty_cycle, const EnergyRatios& ratios, const TimeShares& times) {
+  return duty_cycle * ratios.listen * times.listen + ratios.receive * times.receive +
+         ratios.send * times.send;
+}
+
+double ListenEnergyFraction(double duty_cycle, const EnergyRatios& ratios,
+                            const TimeShares& times) {
+  const double total = TotalEnergy(duty_cycle, ratios, times);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return duty_cycle * ratios.listen * times.listen / total;
+}
+
+TimeShares SharesFromStats(const RadioStats& stats, SimDuration time_sending,
+                           SimDuration total_time) {
+  TimeShares shares;
+  const double total = static_cast<double>(std::max<SimDuration>(total_time, 1));
+  shares.send = static_cast<double>(time_sending) / total;
+  shares.receive = static_cast<double>(stats.time_receiving) / total;
+  shares.listen = std::max(0.0, 1.0 - shares.send - shares.receive);
+  return shares;
+}
+
+}  // namespace diffusion

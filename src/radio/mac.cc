@@ -1,0 +1,131 @@
+#include "src/radio/mac.h"
+
+#include <algorithm>
+
+namespace diffusion {
+
+bool InAwakeWindow(SimTime now, const MacConfig& config) {
+  if (config.duty_cycle >= 1.0 || config.duty_period <= 0) {
+    return true;
+  }
+  const SimDuration offset = now % config.duty_period;
+  const SimDuration awake =
+      static_cast<SimDuration>(config.duty_cycle * static_cast<double>(config.duty_period));
+  return offset < awake;
+}
+
+SimTime NextAwakeTime(SimTime now, const MacConfig& config) {
+  if (InAwakeWindow(now, config)) {
+    return now;
+  }
+  return (now / config.duty_period + 1) * config.duty_period;
+}
+
+CsmaMac::CsmaMac(Simulator* sim, Channel* channel, ChannelEndpoint* endpoint, MacConfig config)
+    : sim_(sim),
+      channel_(channel),
+      endpoint_(endpoint),
+      config_(config),
+      rng_(sim->rng().Fork()) {}
+
+SimDuration CsmaMac::FrameAirtime(size_t fragment_bytes) const {
+  const double bits = static_cast<double>(fragment_bytes + config_.frame_overhead_bytes) * 8.0;
+  return static_cast<SimDuration>(bits / config_.bitrate_bps * static_cast<double>(kSecond));
+}
+
+bool CsmaMac::Enqueue(Fragment fragment) {
+  if (queue_.size() >= config_.queue_limit) {
+    ++stats_.drops_queue_full;
+    return false;
+  }
+  queue_.push_back(std::move(fragment));
+  if (!transmitting_ && !attempt_pending_) {
+    attempts_ = 0;
+    ScheduleAttempt(rng_.NextInt(0, config_.initial_jitter));
+  }
+  return true;
+}
+
+void CsmaMac::ScheduleAttempt(SimDuration delay) {
+  attempt_pending_ = true;
+  pending_event_ = sim_->After(delay, [this] {
+    attempt_pending_ = false;
+    pending_event_ = kInvalidEventId;
+    Attempt();
+  });
+}
+
+void CsmaMac::Attempt() {
+  if (queue_.empty() || transmitting_) {
+    return;
+  }
+  // Duty cycling: transmit only inside an awake window, and only if the
+  // whole frame fits before the window closes (the receivers sleep at the
+  // same synchronized instant).
+  if (config_.duty_cycle < 1.0) {
+    const SimTime now = sim_->now();
+    const SimDuration airtime = FrameAirtime(queue_.front().WireSize());
+    const SimDuration awake =
+        static_cast<SimDuration>(config_.duty_cycle * static_cast<double>(config_.duty_period));
+    const SimTime window_start = (now / config_.duty_period) * config_.duty_period;
+    const bool fits = InAwakeWindow(now, config_) && now + airtime <= window_start + awake;
+    if (!fits) {
+      const SimTime next = NextAwakeTime(InAwakeWindow(now, config_)
+                                             ? window_start + config_.duty_period
+                                             : now,
+                                         config_);
+      // Contend at the window start with a fresh jitter so all deferred
+      // senders don't collide at the window boundary.
+      ScheduleAttempt(next - now + rng_.NextInt(0, std::max<SimDuration>(config_.initial_jitter, 1)));
+      return;
+    }
+  }
+  if (channel_->CarrierBusyAt(endpoint_->node_id())) {
+    ++attempts_;
+    if (attempts_ >= config_.max_attempts) {
+      // The channel never cleared; give up on this frame (no ARQ).
+      ++stats_.drops_channel_busy;
+      queue_.pop_front();
+      attempts_ = 0;
+      if (queue_.empty()) {
+        return;
+      }
+    }
+    const int cw = std::min(config_.cw_min_slots << std::min(attempts_, 10),
+                            config_.cw_max_slots);
+    const SimDuration backoff = config_.slot * rng_.NextInt(1, std::max(cw, 1));
+    ScheduleAttempt(backoff);
+    return;
+  }
+  // Channel clear: transmit the head-of-line frame.
+  Fragment fragment = std::move(queue_.front());
+  queue_.pop_front();
+  attempts_ = 0;
+  const SimDuration airtime = FrameAirtime(fragment.WireSize());
+  transmitting_ = true;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += fragment.WireSize() + config_.frame_overhead_bytes;
+  stats_.time_sending += airtime;
+  channel_->Transmit(endpoint_->node_id(), std::move(fragment), airtime);
+  sim_->After(airtime, [this] { FinishTransmit(); });
+}
+
+void CsmaMac::FinishTransmit() {
+  transmitting_ = false;
+  if (!queue_.empty() && !attempt_pending_) {
+    ScheduleAttempt(config_.interframe_spacing +
+                    rng_.NextInt(0, config_.initial_jitter));
+  }
+}
+
+void CsmaMac::Reset() {
+  queue_.clear();
+  if (pending_event_ != kInvalidEventId) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = kInvalidEventId;
+    attempt_pending_ = false;
+  }
+  attempts_ = 0;
+}
+
+}  // namespace diffusion

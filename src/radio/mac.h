@@ -1,0 +1,104 @@
+// Carrier-sense MAC.
+//
+// The paper's MAC is deliberately primitive: "performing only simple carrier
+// detection and lacking RTS/CTS or ARQ" (§6.1). This class reproduces that:
+// listen-before-talk with randomized backoff when busy, one shot per frame
+// (no acknowledgements, no retransmission of corrupted frames), a bounded
+// transmit queue that drops under congestion.
+
+#ifndef SRC_RADIO_MAC_H_
+#define SRC_RADIO_MAC_H_
+
+#include <deque>
+
+#include "src/radio/channel.h"
+#include "src/radio/fragmentation.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace diffusion {
+
+struct MacConfig {
+  // Radiometrix RPC-class radio: ~13 kb/s of usable throughput (§6.1).
+  double bitrate_bps = 13000.0;
+  // Preamble/sync/framing bytes per on-air frame, beyond the fragment bytes.
+  size_t frame_overhead_bytes = 8;
+  // Carrier-sense backoff parameters: wait Uniform[1, cw] slots when busy,
+  // with cw doubling per consecutive busy attempt up to cw_max_slots.
+  SimDuration slot = 2 * kMillisecond;
+  int cw_min_slots = 4;
+  int cw_max_slots = 128;
+  // Give up on a frame after this many busy-channel attempts (no ARQ: a
+  // frame that does get transmitted is never retried regardless of outcome).
+  int max_attempts = 16;
+  // Transmit queue bound; enqueue fails when full (congestion drop).
+  size_t queue_limit = 64;
+  // Spacing inserted after each transmission before the next attempt.
+  SimDuration interframe_spacing = 2 * kMillisecond;
+  // Random initial deferral for a frame arriving at an idle MAC; desynchronizes
+  // neighbors that all react to the same broadcast.
+  SimDuration initial_jitter = 4 * kMillisecond;
+
+  // Duty cycling (the §6.1/§7 energy-conserving MAC the paper calls for):
+  // all radios are awake for the first duty_cycle fraction of every
+  // duty_period and asleep otherwise, on a network-synchronized schedule
+  // (TDMA-style, like the WINSng radios' 10-15% duty cycles). Transmissions
+  // are deferred into awake windows and must fit entirely inside one. 1.0
+  // disables sleeping.
+  double duty_cycle = 1.0;
+  SimDuration duty_period = 1 * kSecond;
+};
+
+// True when `now` falls inside an awake window of the duty schedule.
+bool InAwakeWindow(SimTime now, const MacConfig& config);
+
+// The start of the next awake window at or after `now`.
+SimTime NextAwakeTime(SimTime now, const MacConfig& config);
+
+struct MacStats {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;  // on-air bytes including per-frame overhead
+  uint64_t drops_queue_full = 0;
+  uint64_t drops_channel_busy = 0;
+  SimDuration time_sending = 0;
+};
+
+class CsmaMac {
+ public:
+  CsmaMac(Simulator* sim, Channel* channel, ChannelEndpoint* endpoint, MacConfig config);
+
+  // Queues a fragment for transmission. Returns false (and drops) when the
+  // queue is full.
+  bool Enqueue(Fragment fragment);
+
+  bool transmitting() const { return transmitting_; }
+  const MacStats& stats() const { return stats_; }
+
+  // Drops all queued frames and cancels pending attempts (node death).
+  void Reset();
+
+  // On-air time for a frame of `fragment_bytes` fragment bytes.
+  SimDuration FrameAirtime(size_t fragment_bytes) const;
+
+ private:
+  void ScheduleAttempt(SimDuration delay);
+  void Attempt();
+  void FinishTransmit();
+
+  Simulator* sim_;
+  Channel* channel_;
+  ChannelEndpoint* endpoint_;
+  MacConfig config_;
+  Rng rng_;
+
+  std::deque<Fragment> queue_;
+  bool transmitting_ = false;
+  bool attempt_pending_ = false;
+  int attempts_ = 0;
+  EventId pending_event_ = kInvalidEventId;
+  MacStats stats_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_MAC_H_

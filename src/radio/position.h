@@ -1,0 +1,32 @@
+// Node positions. The paper's testbed spans two floors; an optional floor
+// index lets propagation models penalize inter-floor links.
+
+#ifndef SRC_RADIO_POSITION_H_
+#define SRC_RADIO_POSITION_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace diffusion {
+
+// Globally-unique *experiment* identifier for a node. Note that diffusion
+// itself never routes on these (paper §3.1: nodes only need to distinguish
+// neighbors); they exist so the simulator and link layer can address frames.
+using NodeId = uint32_t;
+constexpr NodeId kBroadcastId = 0xffffffff;
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+  int floor = 0;
+};
+
+inline double Distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_POSITION_H_

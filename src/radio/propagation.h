@@ -1,0 +1,104 @@
+// Propagation models.
+//
+// The paper's testbed exhibited range that "varies greatly depending on node
+// position", asymmetric links, and intermittent connectivity (§6.4). The
+// propagation interface separates *reachability* (whether energy from a
+// transmitter arrives at a node at all — used for carrier sense and
+// collisions) from *delivery probability* (whether an individual frame
+// decodes — used for per-frame loss).
+
+#ifndef SRC_RADIO_PROPAGATION_H_
+#define SRC_RADIO_PROPAGATION_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/radio/position.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  // True if a transmission from `from` puts energy at `to` (interference and
+  // carrier-sense range, not necessarily decodable).
+  virtual bool Reaches(NodeId from, NodeId to) const = 0;
+
+  // Probability that a single frame from `from` decodes at `to` at `now`,
+  // given no collision. Zero when !Reaches(from, to).
+  virtual double DeliveryProbability(NodeId from, NodeId to, SimTime now) const = 0;
+};
+
+// Per-directed-link quality override.
+struct LinkQuality {
+  double delivery_probability = 1.0;
+  // Intermittent links (§6.4) alternate between working and dead phases.
+  bool intermittent = false;
+  SimDuration period = 60 * kSecond;
+  double on_fraction = 0.5;
+  SimDuration phase = 0;  // offset of the on-window start within the period
+};
+
+// Unit-disk reachability from positions, with optional per-link quality
+// overrides (including making a link asymmetric or intermittent) and a
+// default delivery probability for unlisted links. Links to other floors are
+// only reachable if explicitly listed or `inter_floor_range` > 0.
+class DiskPropagation : public PropagationModel {
+ public:
+  DiskPropagation(double range, double default_delivery_probability = 1.0);
+
+  void SetPosition(NodeId node, Position position);
+  // Overrides quality of the directed link from -> to. Also forces the link
+  // to be considered reachable regardless of distance.
+  void SetLinkQuality(NodeId from, NodeId to, LinkQuality quality);
+  // Removes the directed link entirely (models an obstruction).
+  void BlockLink(NodeId from, NodeId to);
+  // Range applied across floors; zero (default) blocks inter-floor links
+  // unless explicitly overridden.
+  void set_inter_floor_range(double range) { inter_floor_range_ = range; }
+
+  bool Reaches(NodeId from, NodeId to) const override;
+  double DeliveryProbability(NodeId from, NodeId to, SimTime now) const override;
+
+  const Position* GetPosition(NodeId node) const;
+
+ private:
+  using LinkKey = uint64_t;
+  static LinkKey MakeKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  double range_;
+  double inter_floor_range_ = 0.0;
+  double default_delivery_probability_;
+  std::unordered_map<NodeId, Position> positions_;
+  std::unordered_map<LinkKey, LinkQuality> link_quality_;
+  std::unordered_map<LinkKey, bool> blocked_;
+};
+
+// Explicit topology: only listed directed links exist. Useful for tests and
+// for reproducing a measured testbed connectivity graph exactly.
+class ExplicitTopology : public PropagationModel {
+ public:
+  void AddLink(NodeId from, NodeId to, LinkQuality quality = LinkQuality{});
+  // Adds both directions with the same quality.
+  void AddSymmetricLink(NodeId a, NodeId b, LinkQuality quality = LinkQuality{});
+  void RemoveLink(NodeId from, NodeId to);
+
+  bool Reaches(NodeId from, NodeId to) const override;
+  double DeliveryProbability(NodeId from, NodeId to, SimTime now) const override;
+
+ private:
+  std::map<std::pair<NodeId, NodeId>, LinkQuality> links_;
+};
+
+// Shared helper: evaluates a LinkQuality at a point in time (handles the
+// intermittent on/off windows).
+double EvaluateLinkQuality(const LinkQuality& quality, SimTime now);
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_PROPAGATION_H_

@@ -1,0 +1,65 @@
+#include "src/radio/radio.h"
+
+namespace diffusion {
+
+Radio::Radio(Simulator* sim, Channel* channel, NodeId id, RadioConfig config)
+    : sim_(sim),
+      channel_(channel),
+      id_(id),
+      config_(config),
+      mac_(sim, channel, this, config.mac),
+      reassembler_(config.reassembly_timeout) {
+  channel_->Attach(this);
+}
+
+Radio::~Radio() { channel_->Detach(id_); }
+
+bool Radio::SendMessage(NodeId dst, std::vector<uint8_t> payload) {
+  if (!alive_) {
+    return false;
+  }
+  ++stats_.messages_sent;
+  stats_.message_bytes_sent += payload.size();
+  const uint32_t seq = next_message_seq_++;
+  bool any_queued = false;
+  for (Fragment& fragment : SplitMessage(id_, dst, seq, payload, config_.fragment_payload)) {
+    if (mac_.Enqueue(std::move(fragment))) {
+      ++stats_.fragments_sent;
+      any_queued = true;
+    } else {
+      ++stats_.fragments_dropped;
+    }
+  }
+  return any_queued;
+}
+
+void Radio::Kill() {
+  alive_ = false;
+  mac_.Reset();
+}
+
+void Radio::Revive() { alive_ = true; }
+
+void Radio::OnFrameDelivered(const Fragment& fragment, SimDuration airtime) {
+  if (!alive_) {
+    return;
+  }
+  stats_.time_receiving += airtime;
+  if (fragment.dst != kBroadcastId && fragment.dst != id_) {
+    // Overheard unicast to someone else; the radio spent the energy but the
+    // frame is not ours.
+    return;
+  }
+  ++stats_.fragments_received;
+  std::optional<Reassembler::Completed> completed = reassembler_.Add(fragment, sim_->now());
+  if (!completed.has_value()) {
+    return;
+  }
+  ++stats_.messages_received;
+  stats_.message_bytes_received += completed->payload.size();
+  if (receive_callback_) {
+    receive_callback_(completed->src, completed->payload);
+  }
+}
+
+}  // namespace diffusion

@@ -1,0 +1,63 @@
+#include "src/sim/event_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diffusion {
+
+EventId EventScheduler::ScheduleAt(SimTime when, std::function<void()> callback) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{std::max(when, now_), next_sequence_++, id, std::move(callback)});
+  live_.insert(id);
+  return id;
+}
+
+EventId EventScheduler::ScheduleAfter(SimDuration delay, std::function<void()> callback) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(callback));
+}
+
+bool EventScheduler::Cancel(EventId id) { return live_.erase(id) > 0; }
+
+void EventScheduler::SkipDead() {
+  while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
+    queue_.pop();
+  }
+}
+
+bool EventScheduler::RunOne() {
+  SkipDead();
+  if (queue_.empty()) {
+    return false;
+  }
+  Entry entry = queue_.top();
+  queue_.pop();
+  live_.erase(entry.id);
+  now_ = entry.when;
+  entry.callback();
+  return true;
+}
+
+size_t EventScheduler::RunUntil(SimTime end) {
+  size_t run = 0;
+  for (;;) {
+    SkipDead();
+    if (queue_.empty() || queue_.top().when > end) {
+      break;
+    }
+    RunOne();
+    ++run;
+  }
+  // Advance the clock to the end of the window even if the queue drained.
+  now_ = std::max(now_, end);
+  return run;
+}
+
+size_t EventScheduler::RunAll() {
+  size_t run = 0;
+  while (RunOne()) {
+    ++run;
+  }
+  return run;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// The scheduler owns a time-ordered queue of callbacks. Ties in time are
+// broken by insertion order so that runs are fully deterministic. Events may
+// be cancelled through the handle returned at scheduling time; cancellation
+// is lazy (cancelled entries are skipped when popped), which keeps both
+// operations O(log n).
+
+#ifndef SRC_SIM_EVENT_SCHEDULER_H_
+#define SRC_SIM_EVENT_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace diffusion {
+
+// Identifies a scheduled event for cancellation. Zero is never a valid id.
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventScheduler {
+ public:
+  // Schedules `callback` to run at absolute time `when`. `when` must not be
+  // earlier than now(); earlier times are clamped to now().
+  EventId ScheduleAt(SimTime when, std::function<void()> callback);
+
+  // Schedules `callback` to run `delay` after the current time.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> callback);
+
+  // Cancels a pending event. Returns true if the event was still pending.
+  // Cancelling an id that already ran (or was already cancelled) is a no-op.
+  bool Cancel(EventId id);
+
+  // True when no runnable events remain.
+  bool Empty() const { return live_.empty(); }
+
+  // Runs the next event, advancing the clock. Returns false if none remain.
+  bool RunOne();
+
+  // Runs events until the queue is empty or the clock passes `end`.
+  // Events at exactly `end` are run. Returns the number of events run.
+  size_t RunUntil(SimTime end);
+
+  // Runs every event to quiescence. Returns the number of events run.
+  size_t RunAll();
+
+  SimTime now() const { return now_; }
+
+  // Number of pending (non-cancelled) events.
+  size_t pending() const { return live_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t sequence;  // insertion order, for deterministic tie-breaking
+    EventId id;
+    std::function<void()> callback;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  // Pops cancelled entries off the head of the queue.
+  void SkipDead();
+
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  std::unordered_set<EventId> live_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_SIM_EVENT_SCHEDULER_H_

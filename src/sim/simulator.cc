@@ -1,0 +1,3 @@
+#include "src/sim/simulator.h"
+
+// Simulator is header-only today; this translation unit anchors the library.

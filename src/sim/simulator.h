@@ -1,0 +1,49 @@
+// Simulation driver: a scheduler plus the root random stream.
+//
+// Everything time- or randomness-dependent in the library hangs off a
+// Simulator so that a single seed reproduces an entire experiment.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "src/sim/event_scheduler.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  EventScheduler& scheduler() { return scheduler_; }
+  const EventScheduler& scheduler() const { return scheduler_; }
+
+  SimTime now() const { return scheduler_.now(); }
+
+  // Root random stream. Components should Fork() their own stream once at
+  // construction so that event interleaving does not change their draws.
+  Rng& rng() { return rng_; }
+
+  // Convenience forwarding to the scheduler.
+  EventId At(SimTime when, std::function<void()> callback) {
+    return scheduler_.ScheduleAt(when, std::move(callback));
+  }
+  EventId After(SimDuration delay, std::function<void()> callback) {
+    return scheduler_.ScheduleAfter(delay, std::move(callback));
+  }
+  bool Cancel(EventId id) { return scheduler_.Cancel(id); }
+
+  size_t RunUntil(SimTime end) { return scheduler_.RunUntil(end); }
+  size_t RunAll() { return scheduler_.RunAll(); }
+
+ private:
+  EventScheduler scheduler_;
+  Rng rng_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_SIM_SIMULATOR_H_

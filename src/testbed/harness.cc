@@ -1,0 +1,26 @@
+#include "src/testbed/harness.h"
+
+#include <cstdio>
+
+namespace diffusion {
+
+std::map<std::string, RunningStat> RunRepeated(size_t runs, uint64_t base_seed,
+                                               const std::function<MetricMap(uint64_t)>& run_fn) {
+  std::map<std::string, RunningStat> stats;
+  for (size_t i = 0; i < runs; ++i) {
+    const MetricMap metrics = run_fn(base_seed + i);
+    for (const auto& [name, value] : metrics) {
+      stats[name].Add(value);
+    }
+  }
+  return stats;
+}
+
+std::string FormatWithCI(const RunningStat& stat, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f ± %.*f", precision, stat.mean(), precision,
+                stat.confidence95());
+  return std::string(buffer);
+}
+
+}  // namespace diffusion

@@ -1,0 +1,85 @@
+#include "src/testbed/monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace diffusion {
+
+NetworkMonitor::Snapshot NetworkMonitor::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.when = channel_->simulator().now();
+  for (const DiffusionNode* node : nodes_) {
+    snapshot.diffusion_messages += node->stats().messages_sent;
+    snapshot.diffusion_bytes += node->stats().bytes_sent;
+    snapshot.duplicates_suppressed += node->stats().duplicates_suppressed;
+  }
+  const ChannelStats& channel_stats = channel_->stats();
+  snapshot.radio_transmissions = channel_stats.transmissions;
+  snapshot.collisions = channel_stats.collisions;
+  snapshot.propagation_losses = channel_stats.propagation_losses;
+  snapshot.deliveries = channel_stats.deliveries;
+  for (DiffusionNode* node : nodes_) {
+    snapshot.mac_drops += node->radio().mac_stats().drops_queue_full +
+                          node->radio().mac_stats().drops_channel_busy;
+  }
+  return snapshot;
+}
+
+double NetworkMonitor::CollisionRate(const Snapshot& begin, const Snapshot& end) {
+  const uint64_t attempted = (end.collisions + end.propagation_losses + end.deliveries) -
+                             (begin.collisions + begin.propagation_losses + begin.deliveries);
+  if (attempted == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(end.collisions - begin.collisions) /
+         static_cast<double>(attempted);
+}
+
+std::string NetworkMonitor::TopologyReport() const {
+  std::ostringstream out;
+  out << "observed radio topology (heard-from, may be asymmetric):\n";
+  std::vector<DiffusionNode*> sorted = nodes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DiffusionNode* a, const DiffusionNode* b) { return a->id() < b->id(); });
+  for (const DiffusionNode* node : sorted) {
+    out << "  node " << node->id() << (node->alive() ? "" : " (dead)") << ":";
+    for (NodeId neighbor : node->Neighbors()) {
+      out << " " << neighbor;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string NetworkMonitor::NodeReport(const Snapshot& begin, double duty_cycle) const {
+  const SimTime now = channel_->simulator().now();
+  (void)begin;  // message counters are cumulative; radio time shares are too,
+                // so shares use the full elapsed run as the denominator.
+  const SimDuration window = std::max<SimDuration>(now, 1);
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "per-node report at t=%.1f s (energy at duty %.2f):\n",
+                DurationToSeconds(window), duty_cycle);
+  out << line;
+  std::snprintf(line, sizeof(line), "  %-6s %-10s %-10s %-8s %-8s %-8s %-10s\n", "node",
+                "msgs", "bytes", "send%", "recv%", "listen%", "energy");
+  out << line;
+  std::vector<DiffusionNode*> sorted = nodes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DiffusionNode* a, const DiffusionNode* b) { return a->id() < b->id(); });
+  for (DiffusionNode* node : sorted) {
+    const TimeShares shares =
+        SharesFromStats(node->radio().stats(), node->radio().time_sending(), window);
+    const double energy = TotalEnergy(duty_cycle, EnergyRatios{}, shares);
+    std::snprintf(line, sizeof(line), "  %-6u %-10llu %-10llu %-8.2f %-8.2f %-8.2f %-10.3f\n",
+                  node->id(),
+                  static_cast<unsigned long long>(node->stats().messages_sent),
+                  static_cast<unsigned long long>(node->stats().bytes_sent),
+                  shares.send * 100.0, shares.receive * 100.0, shares.listen * 100.0, energy);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace diffusion

@@ -1,0 +1,170 @@
+#include "src/util/byte_buffer.h"
+
+#include <limits>
+
+namespace diffusion {
+
+void ByteWriter::WriteU8(uint8_t value) { data_.push_back(value); }
+
+void ByteWriter::WriteU16(uint16_t value) {
+  data_.push_back(static_cast<uint8_t>(value));
+  data_.push_back(static_cast<uint8_t>(value >> 8));
+}
+
+void ByteWriter::WriteU32(uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    data_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    data_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void ByteWriter::WriteF32(float value) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU32(bits);
+}
+
+void ByteWriter::WriteF64(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteU16(static_cast<uint16_t>(bytes.size()));
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::WriteString(const std::string& text) {
+  WriteU16(static_cast<uint16_t>(text.size()));
+  data_.insert(data_.end(), text.begin(), text.end());
+}
+
+void ByteWriter::WriteRaw(const uint8_t* data, size_t size) {
+  data_.insert(data_.end(), data, data + size);
+}
+
+bool ByteReader::Take(size_t n, const uint8_t** out) {
+  if (!ok_ || size_ - offset_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_ + offset_;
+  offset_ += n;
+  return true;
+}
+
+bool ByteReader::ReadU8(uint8_t* out) {
+  const uint8_t* p;
+  if (!Take(1, &p)) {
+    return false;
+  }
+  *out = p[0];
+  return true;
+}
+
+bool ByteReader::ReadU16(uint16_t* out) {
+  const uint8_t* p;
+  if (!Take(2, &p)) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* out) {
+  const uint8_t* p;
+  if (!Take(4, &p)) {
+    return false;
+  }
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | p[i];
+  }
+  *out = value;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* out) {
+  const uint8_t* p;
+  if (!Take(8, &p)) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | p[i];
+  }
+  *out = value;
+  return true;
+}
+
+bool ByteReader::ReadI32(int32_t* out) {
+  uint32_t bits;
+  if (!ReadU32(&bits)) {
+    return false;
+  }
+  *out = static_cast<int32_t>(bits);
+  return true;
+}
+
+bool ByteReader::ReadI64(int64_t* out) {
+  uint64_t bits;
+  if (!ReadU64(&bits)) {
+    return false;
+  }
+  *out = static_cast<int64_t>(bits);
+  return true;
+}
+
+bool ByteReader::ReadF32(float* out) {
+  uint32_t bits;
+  if (!ReadU32(&bits)) {
+    return false;
+  }
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::ReadF64(double* out) {
+  uint64_t bits;
+  if (!ReadU64(&bits)) {
+    return false;
+  }
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::ReadBytes(std::vector<uint8_t>* out) {
+  uint16_t length;
+  if (!ReadU16(&length)) {
+    return false;
+  }
+  const uint8_t* p;
+  if (!Take(length, &p)) {
+    return false;
+  }
+  out->assign(p, p + length);
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* out) {
+  uint16_t length;
+  if (!ReadU16(&length)) {
+    return false;
+  }
+  const uint8_t* p;
+  if (!Take(length, &p)) {
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(p), length);
+  return true;
+}
+
+}  // namespace diffusion

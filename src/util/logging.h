@@ -1,0 +1,62 @@
+// Minimal leveled logging used across the library.
+//
+// Logging is stream-based and off by default above kWarning so that benchmark
+// binaries stay quiet. Tests and the debugging filter raise the level.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace diffusion {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Returns the process-wide minimum level that is emitted.
+LogLevel GetLogLevel();
+
+// Sets the process-wide minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+// Emits one formatted log line to stderr; used by the LOG macro below.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace log_internal {
+
+// Accumulates one log statement and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define DIFFUSION_LOG(level) \
+  ::diffusion::log_internal::LogLine(::diffusion::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace diffusion
+
+#endif  // SRC_UTIL_LOGGING_H_

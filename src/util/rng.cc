@@ -1,0 +1,82 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace diffusion {
+namespace {
+
+// SplitMix64 step; used only to expand the seed into generator state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full-range request: [INT64_MIN, INT64_MAX].
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = (~0ULL / span) * span;
+  uint64_t value;
+  do {
+    value = Next();
+  } while (value >= limit);
+  return lo + static_cast<int64_t>(value % span);
+}
+
+double Rng::NextDoubleIn(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::NextBool(double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  if (probability >= 1.0) {
+    return true;
+  }
+  return NextDouble() < probability;
+}
+
+double Rng::NextExponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace diffusion

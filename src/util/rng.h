@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be exactly reproducible from a seed, so the library carries
+// its own small generator (xoshiro256**, seeded through SplitMix64) instead of
+// depending on implementation-defined std::default_random_engine behaviour.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace diffusion {
+
+// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  // Next raw 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi). Requires lo < hi.
+  double NextDoubleIn(double lo, double hi);
+
+  // Bernoulli trial with the given success probability (clamped to [0,1]).
+  bool NextBool(double probability);
+
+  // Exponentially distributed double with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Derives an independent child generator; useful for giving each node its
+  // own stream so that adding nodes does not perturb others' randomness.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_UTIL_RNG_H_

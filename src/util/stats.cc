@@ -1,0 +1,81 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diffusion {
+
+void RunningStat::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::confidence95() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  const double standard_error = stddev() / std::sqrt(static_cast<double>(count_));
+  return StudentT95(count_ - 1) * standard_error;
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const size_t total = count_ + other.count_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+  mean_ += delta * nb / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double StudentT95(size_t degrees_of_freedom) {
+  // Table of two-sided 95% critical values; converges to the normal 1.96.
+  static constexpr double kTable[] = {
+      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201, 2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074, 2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+  };
+  constexpr size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+  if (degrees_of_freedom == 0) {
+    return 0.0;
+  }
+  if (degrees_of_freedom < kTableSize) {
+    return kTable[degrees_of_freedom];
+  }
+  if (degrees_of_freedom < 60) {
+    return 2.000;
+  }
+  if (degrees_of_freedom < 120) {
+    return 1.980;
+  }
+  return 1.960;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,48 @@
+// Streaming statistics with confidence intervals.
+//
+// The paper reports each experimental point as the mean over repeated runs
+// with a 95% confidence interval; RunningStat reproduces that reporting.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace diffusion {
+
+// Welford-style accumulator for mean/variance plus min/max tracking.
+class RunningStat {
+ public:
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Sample variance (n-1 denominator). Zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  // Half-width of the 95% confidence interval on the mean, using Student's t
+  // for small sample counts (the paper's runs are n=3 or n=5).
+  double confidence95() const;
+
+  // Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Two-sided 95% Student-t critical value for the given degrees of freedom.
+double StudentT95(size_t degrees_of_freedom);
+
+}  // namespace diffusion
+
+#endif  // SRC_UTIL_STATS_H_

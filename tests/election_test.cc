@@ -1,0 +1,184 @@
+// Tests for the §5.2 sensor election (SRM-style distance-weighted timers).
+
+#include <gtest/gtest.h>
+
+#include "src/apps/election.h"
+#include "src/core/node.h"
+#include "tests/test_util.h"
+
+namespace diffusion {
+namespace {
+
+using testing_support::FastRadio;
+using testing_support::MakeCliqueChannel;
+using testing_support::MakeLineChannel;
+
+struct Participant {
+  std::unique_ptr<DiffusionNode> node;
+  std::unique_ptr<SensorElection> election;
+  std::optional<NodeId> winner;
+  bool won = false;
+};
+
+TEST(ElectionTest, MostCentralSensorWins) {
+  Simulator sim(71);
+  auto channel = MakeCliqueChannel(&sim, 4);
+  // Metrics = distance to the point of interest; node 3 is the most central.
+  const double metrics[] = {8.0, 5.0, 1.5, 6.0};
+  std::vector<Participant> participants(4);
+  for (NodeId id = 1; id <= 4; ++id) {
+    Participant& p = participants[id - 1];
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
+                                             FastRadio());
+    p.election = std::make_unique<SensorElection>(p.node.get(), "audio-election",
+                                                  metrics[id - 1]);
+  }
+  sim.RunUntil(kSecond);  // let claim interests flood first
+  for (Participant& p : participants) {
+    p.election->Start([&p](NodeId winner, bool won) {
+      p.winner = winner;
+      p.won = won;
+    });
+  }
+  sim.RunUntil(kMinute);
+
+  for (const Participant& p : participants) {
+    ASSERT_TRUE(p.election->decided());
+    EXPECT_EQ(p.winner.value_or(0), 3u);  // the most central node
+  }
+  EXPECT_FALSE(participants[0].won);
+  EXPECT_TRUE(participants[2].won);
+}
+
+TEST(ElectionTest, TimersSuppressMostClaims) {
+  // With well-separated metrics, the winner's early claim silences the rest:
+  // only one nomination goes on the air.
+  Simulator sim(72);
+  auto channel = MakeCliqueChannel(&sim, 5);
+  const double metrics[] = {2.0, 10.0, 14.0, 18.0, 25.0};
+  std::vector<Participant> participants(5);
+  for (NodeId id = 1; id <= 5; ++id) {
+    Participant& p = participants[id - 1];
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
+                                             FastRadio());
+    p.election = std::make_unique<SensorElection>(p.node.get(), "topic", metrics[id - 1]);
+  }
+  sim.RunUntil(kSecond);
+  for (Participant& p : participants) {
+    p.election->Start([](NodeId, bool) {});
+  }
+  sim.RunUntil(kMinute);
+
+  int claims = 0;
+  for (const Participant& p : participants) {
+    if (p.election->claimed()) {
+      ++claims;
+    }
+    EXPECT_EQ(p.election->winner().value_or(0), 1u);
+  }
+  EXPECT_EQ(claims, 1);
+}
+
+TEST(ElectionTest, BetterPeerDisputesEarlyClaim) {
+  // Force the *worse* sensor to claim first (its per-metric delay is tiny);
+  // the better peer's later claim must dispute and win everywhere.
+  Simulator sim(73);
+  auto channel = MakeCliqueChannel(&sim, 2);
+  Participant worse;
+  Participant better;
+  worse.node =
+      std::make_unique<DiffusionNode>(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  better.node =
+      std::make_unique<DiffusionNode>(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  ElectionConfig eager;  // the worse node fires almost immediately
+  eager.delay_per_metric = 1 * kMillisecond;
+  eager.jitter = 1;
+  ElectionConfig lazy;  // the better node waits far longer than the worse one
+  lazy.delay_per_metric = 2 * kSecond;
+  lazy.jitter = 1;
+  worse.election = std::make_unique<SensorElection>(worse.node.get(), "t", 9.0, eager);
+  better.election = std::make_unique<SensorElection>(better.node.get(), "t", 2.0, lazy);
+  sim.RunUntil(kSecond);
+  worse.election->Start([&worse](NodeId winner, bool won) {
+    worse.winner = winner;
+    worse.won = won;
+  });
+  better.election->Start([&better](NodeId winner, bool won) {
+    better.winner = winner;
+    better.won = won;
+  });
+  sim.RunUntil(kMinute);
+
+  // Both claimed (the worse one first), but everyone settles on the better.
+  EXPECT_TRUE(worse.election->claimed());
+  EXPECT_TRUE(better.election->claimed());
+  EXPECT_EQ(worse.winner.value_or(0), 2u);
+  EXPECT_EQ(better.winner.value_or(0), 2u);
+  EXPECT_FALSE(worse.won);
+  EXPECT_TRUE(better.won);
+}
+
+TEST(ElectionTest, TiesBreakByNodeId) {
+  Simulator sim(74);
+  auto channel = MakeCliqueChannel(&sim, 3);
+  std::vector<Participant> participants(3);
+  for (NodeId id = 1; id <= 3; ++id) {
+    Participant& p = participants[id - 1];
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
+                                             FastRadio());
+    p.election = std::make_unique<SensorElection>(p.node.get(), "tie", 5.0);
+  }
+  sim.RunUntil(kSecond);
+  for (Participant& p : participants) {
+    p.election->Start([](NodeId, bool) {});
+  }
+  sim.RunUntil(kMinute);
+  for (const Participant& p : participants) {
+    EXPECT_EQ(p.election->winner().value_or(0), 1u);  // lowest id wins ties
+  }
+}
+
+TEST(ElectionTest, LoneParticipantElectsItself) {
+  Simulator sim(75);
+  auto channel = MakeCliqueChannel(&sim, 1);
+  DiffusionNode node(&sim, channel.get(), 7, DiffusionConfig{}, FastRadio());
+  SensorElection election(&node, "solo", 3.0);
+  std::optional<NodeId> winner;
+  election.Start([&winner](NodeId id, bool won) {
+    winner = id;
+    EXPECT_TRUE(won);
+  });
+  sim.RunUntil(kMinute);
+  EXPECT_EQ(winner.value_or(0), 7u);
+}
+
+TEST(ElectionTest, WorksAcrossMultipleHops) {
+  Simulator sim(76);
+  auto channel = MakeLineChannel(&sim, 4);
+  const double metrics[] = {7.0, 3.0, 1.0, 9.0};
+  std::vector<Participant> participants(4);
+  for (NodeId id = 1; id <= 4; ++id) {
+    Participant& p = participants[id - 1];
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
+                                             FastRadio());
+    ElectionConfig config;
+    config.delay_per_metric = kSecond;  // give claims time to diffuse 3 hops
+    config.settle_time = 30 * kSecond;
+    // Stagger the joins: four simultaneous interest floods from hidden
+    // terminals on a line would collide (cf. the forward-jitter rationale);
+    // real participants don't boot at one instant.
+    sim.RunUntil(sim.now() + 500 * kMillisecond);
+    p.election = std::make_unique<SensorElection>(p.node.get(), "line", metrics[id - 1], config);
+  }
+  sim.RunUntil(3 * kSecond);
+  for (Participant& p : participants) {
+    p.election->Start([](NodeId, bool) {});
+  }
+  sim.RunUntil(2 * kMinute);
+  for (const Participant& p : participants) {
+    EXPECT_EQ(p.election->winner().value_or(0), 3u) << "node " << p.node->id();
+  }
+}
+
+}  // namespace
+}  // namespace diffusion

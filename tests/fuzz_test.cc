@@ -1,0 +1,156 @@
+// Robustness sweeps: random and corrupted inputs must never crash or be
+// misinterpreted — a lossy radio hands the parsers garbage routinely.
+
+#include <gtest/gtest.h>
+
+#include "src/core/message.h"
+#include "src/micro/micro_wire.h"
+#include "src/naming/attribute.h"
+#include "src/naming/keys.h"
+#include "src/naming/matching.h"
+#include "src/radio/fragmentation.h"
+#include "src/util/rng.h"
+
+namespace diffusion {
+namespace {
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t max_size) {
+  std::vector<uint8_t> bytes(static_cast<size_t>(rng->NextInt(0, static_cast<int64_t>(max_size))));
+  for (uint8_t& byte : bytes) {
+    byte = static_cast<uint8_t>(rng->Next());
+  }
+  return bytes;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<uint64_t>(GetParam()) * 6364136223846793005ULL + 1};
+};
+
+TEST_P(FuzzTest, MessageDeserializeNeverCrashes) {
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<uint8_t> bytes = RandomBytes(&rng_, 300);
+    const auto message = Message::Deserialize(bytes);
+    if (message.has_value()) {
+      // Whatever parsed must re-serialize without issue.
+      message->Serialize();
+    }
+  }
+}
+
+TEST_P(FuzzTest, FragmentDeserializeNeverCrashes) {
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<uint8_t> bytes = RandomBytes(&rng_, 64);
+    (void)Fragment::Deserialize(bytes);
+  }
+}
+
+TEST_P(FuzzTest, MicroDecodeNeverCrashes) {
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<uint8_t> bytes = RandomBytes(&rng_, kMicroMaxWireSize + 8);
+    MicroMessage out;
+    (void)MicroDecode(bytes.data(), bytes.size(), &out);
+  }
+}
+
+TEST_P(FuzzTest, AttributeVectorDeserializeNeverCrashes) {
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<uint8_t> bytes = RandomBytes(&rng_, 200);
+    ByteReader reader(bytes);
+    (void)DeserializeAttributes(&reader);
+  }
+}
+
+TEST_P(FuzzTest, CorruptedValidMessagesRejectedOrReparsed) {
+  // Start from a valid message and flip bytes: either the parse fails
+  // cleanly or yields another well-formed message.
+  Message message;
+  message.type = MessageType::kInterest;
+  message.origin = 9;
+  message.origin_seq = 100;
+  message.attrs = {
+      ClassIs(kClassInterest),
+      Attribute::String(kKeyType, AttrOp::kEq, "surveillance"),
+      Attribute::Float64(kKeyConfidence, AttrOp::kGt, 0.5),
+  };
+  const std::vector<uint8_t> clean = message.Serialize();
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> corrupted = clean;
+    const int flips = static_cast<int>(rng_.NextInt(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t at = static_cast<size_t>(
+          rng_.NextInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+      corrupted[at] = static_cast<uint8_t>(rng_.Next());
+    }
+    const auto parsed = Message::Deserialize(corrupted);
+    if (parsed.has_value()) {
+      parsed->Serialize();
+      (void)TwoWayMatch(parsed->attrs, message.attrs);
+    }
+  }
+}
+
+// Matching algebra properties over random sets.
+TEST_P(FuzzTest, AddingActualsPreservesOneWayMatch) {
+  for (int trial = 0; trial < 50; ++trial) {
+    AttributeVector a;
+    AttributeVector b;
+    const int n = static_cast<int>(rng_.NextInt(0, 6));
+    for (int i = 0; i < n; ++i) {
+      a.push_back(Attribute::Int32(static_cast<AttrKey>(rng_.NextInt(1, 4)),
+                                   static_cast<AttrOp>(rng_.NextInt(0, 7)),
+                                   static_cast<int32_t>(rng_.NextInt(0, 3))));
+      b.push_back(Attribute::Int32(static_cast<AttrKey>(rng_.NextInt(1, 4)), AttrOp::kIs,
+                                   static_cast<int32_t>(rng_.NextInt(0, 3))));
+    }
+    const bool before = OneWayMatch(a, b);
+    // Extra actuals in B can only help A's formals, never hurt.
+    AttributeVector b_more = b;
+    b_more.push_back(Attribute::Int32(static_cast<AttrKey>(rng_.NextInt(1, 4)), AttrOp::kIs,
+                                      static_cast<int32_t>(rng_.NextInt(0, 3))));
+    if (before) {
+      EXPECT_TRUE(OneWayMatch(a, b_more));
+    }
+    // Extra formals in A can only add requirements, never remove them.
+    AttributeVector a_more = a;
+    a_more.push_back(Attribute::Int32(static_cast<AttrKey>(rng_.NextInt(1, 4)), AttrOp::kEq,
+                                      static_cast<int32_t>(rng_.NextInt(0, 3))));
+    if (!before) {
+      EXPECT_FALSE(OneWayMatch(a_more, b));
+    }
+  }
+}
+
+TEST_P(FuzzTest, FragmentationRoundTripRandomSizes) {
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t size = static_cast<size_t>(rng_.NextInt(0, 400));
+    const size_t max_payload = static_cast<size_t>(rng_.NextInt(1, 64));
+    std::vector<uint8_t> payload(size);
+    for (uint8_t& byte : payload) {
+      byte = static_cast<uint8_t>(rng_.Next());
+    }
+    auto fragments = SplitMessage(3, 9, static_cast<uint32_t>(trial), payload, max_payload);
+    // Deliver in random order through wire encode/decode.
+    for (size_t i = fragments.size(); i > 1; --i) {
+      std::swap(fragments[i - 1],
+                fragments[static_cast<size_t>(rng_.NextInt(0, static_cast<int64_t>(i) - 1))]);
+    }
+    Reassembler reassembler(kSecond);
+    std::optional<Reassembler::Completed> completed;
+    for (const Fragment& fragment : fragments) {
+      const auto decoded = Fragment::Deserialize(fragment.Serialize());
+      ASSERT_TRUE(decoded.has_value());
+      auto result = reassembler.Add(*decoded, 0);
+      if (result.has_value()) {
+        completed = std::move(result);
+      }
+    }
+    ASSERT_TRUE(completed.has_value());
+    EXPECT_EQ(completed->payload, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace diffusion

@@ -1,0 +1,501 @@
+// Tests for the radio substrate: propagation, fragmentation, channel
+// collisions, the CSMA MAC, and the energy model.
+
+#include <gtest/gtest.h>
+
+#include "src/core/node.h"
+#include "src/naming/keys.h"
+#include "src/radio/channel.h"
+#include "src/radio/energy.h"
+#include "src/radio/fragmentation.h"
+#include "src/radio/mac.h"
+#include "src/radio/propagation.h"
+#include "src/radio/radio.h"
+#include "src/sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace diffusion {
+namespace {
+
+using testing_support::FastRadio;
+using testing_support::MakeCliqueChannel;
+using testing_support::MakeLineChannel;
+
+// ---- Propagation ----
+
+TEST(PropagationTest, DiskRange) {
+  DiskPropagation prop(10.0);
+  prop.SetPosition(1, {0, 0, 0});
+  prop.SetPosition(2, {6, 8, 0});   // distance 10
+  prop.SetPosition(3, {7, 8, 0});   // distance ~10.6
+  EXPECT_TRUE(prop.Reaches(1, 2));
+  EXPECT_TRUE(prop.Reaches(2, 1));
+  EXPECT_FALSE(prop.Reaches(1, 3));
+  EXPECT_FALSE(prop.Reaches(1, 1));  // never reaches self
+}
+
+TEST(PropagationTest, FloorsBlockUnlessConfigured) {
+  DiskPropagation prop(10.0);
+  prop.SetPosition(1, {0, 0, 10});
+  prop.SetPosition(2, {1, 0, 11});
+  EXPECT_FALSE(prop.Reaches(1, 2));
+  prop.set_inter_floor_range(5.0);
+  EXPECT_TRUE(prop.Reaches(1, 2));
+}
+
+TEST(PropagationTest, AsymmetricLinkViaOverride) {
+  // §6.4: "some experiments seemed to show asymmetric links".
+  DiskPropagation prop(1.0);  // too short for any natural link
+  prop.SetPosition(1, {0, 0, 0});
+  prop.SetPosition(2, {5, 0, 0});
+  LinkQuality quality;
+  quality.delivery_probability = 0.8;
+  prop.SetLinkQuality(1, 2, quality);
+  EXPECT_TRUE(prop.Reaches(1, 2));
+  EXPECT_FALSE(prop.Reaches(2, 1));  // only one direction overridden
+  EXPECT_DOUBLE_EQ(prop.DeliveryProbability(1, 2, 0), 0.8);
+  EXPECT_DOUBLE_EQ(prop.DeliveryProbability(2, 1, 0), 0.0);
+}
+
+TEST(PropagationTest, BlockedLink) {
+  DiskPropagation prop(10.0);
+  prop.SetPosition(1, {0, 0, 0});
+  prop.SetPosition(2, {1, 0, 0});
+  EXPECT_TRUE(prop.Reaches(1, 2));
+  prop.BlockLink(1, 2);
+  EXPECT_FALSE(prop.Reaches(1, 2));
+  EXPECT_TRUE(prop.Reaches(2, 1));
+}
+
+TEST(PropagationTest, IntermittentLinkWindows) {
+  // §6.4: "some links provided only intermittent connectivity".
+  LinkQuality quality;
+  quality.delivery_probability = 0.9;
+  quality.intermittent = true;
+  quality.period = 10 * kSecond;
+  quality.on_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(EvaluateLinkQuality(quality, 0), 0.9);
+  EXPECT_DOUBLE_EQ(EvaluateLinkQuality(quality, 4 * kSecond), 0.9);
+  EXPECT_DOUBLE_EQ(EvaluateLinkQuality(quality, 5 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateLinkQuality(quality, 9 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateLinkQuality(quality, 12 * kSecond), 0.9);
+}
+
+TEST(PropagationTest, ExplicitTopology) {
+  ExplicitTopology topology;
+  topology.AddLink(1, 2);
+  EXPECT_TRUE(topology.Reaches(1, 2));
+  EXPECT_FALSE(topology.Reaches(2, 1));
+  topology.AddSymmetricLink(2, 3);
+  EXPECT_TRUE(topology.Reaches(2, 3));
+  EXPECT_TRUE(topology.Reaches(3, 2));
+  topology.RemoveLink(1, 2);
+  EXPECT_FALSE(topology.Reaches(1, 2));
+}
+
+// ---- Fragmentation ----
+
+TEST(FragmentationTest, SplitSizes) {
+  const std::vector<uint8_t> payload(112, 0x11);
+  const auto fragments = SplitMessage(1, 2, 7, payload, 27);
+  ASSERT_EQ(fragments.size(), 5u);  // 112 = 4*27 + 4
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fragments[i].payload.size(), 27u);
+    EXPECT_EQ(fragments[i].index, i);
+    EXPECT_EQ(fragments[i].count, 5);
+  }
+  EXPECT_EQ(fragments[4].payload.size(), 4u);
+}
+
+TEST(FragmentationTest, EmptyPayloadYieldsOneFragment) {
+  const auto fragments = SplitMessage(1, 2, 7, {}, 27);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_TRUE(fragments[0].payload.empty());
+}
+
+TEST(FragmentationTest, FragmentSerializeRoundTrip) {
+  Fragment fragment;
+  fragment.src = 10;
+  fragment.dst = kBroadcastId;
+  fragment.message_seq = 99;
+  fragment.index = 2;
+  fragment.count = 5;
+  fragment.payload = {9, 8, 7};
+  const auto bytes = fragment.Serialize();
+  EXPECT_EQ(bytes.size(), fragment.WireSize());
+  const auto round = Fragment::Deserialize(bytes);
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->src, 10u);
+  EXPECT_EQ(round->dst, kBroadcastId);
+  EXPECT_EQ(round->message_seq, 99u);
+  EXPECT_EQ(round->index, 2);
+  EXPECT_EQ(round->count, 5);
+  EXPECT_EQ(round->payload, fragment.payload);
+}
+
+TEST(FragmentationTest, DeserializeRejectsMalformed) {
+  EXPECT_EQ(Fragment::Deserialize({1, 2, 3}), std::nullopt);
+  Fragment fragment;
+  fragment.index = 4;
+  fragment.count = 3;  // index >= count
+  fragment.payload = {};
+  // Construct manually since Serialize would encode the bad values as-is.
+  EXPECT_EQ(Fragment::Deserialize(fragment.Serialize()), std::nullopt);
+}
+
+TEST(FragmentationTest, ReassemblyInOrder) {
+  Reassembler reassembler(kSecond);
+  const std::vector<uint8_t> payload(60, 0xcd);
+  const auto fragments = SplitMessage(1, 2, 7, payload, 27);
+  for (size_t i = 0; i + 1 < fragments.size(); ++i) {
+    EXPECT_EQ(reassembler.Add(fragments[i], 0), std::nullopt);
+  }
+  const auto completed = reassembler.Add(fragments.back(), 0);
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(completed->payload, payload);
+  EXPECT_EQ(completed->src, 1u);
+  EXPECT_EQ(reassembler.pending(), 0u);
+}
+
+TEST(FragmentationTest, ReassemblyOutOfOrderAndDuplicates) {
+  Reassembler reassembler(kSecond);
+  const std::vector<uint8_t> payload(100, 0xee);
+  auto fragments = SplitMessage(1, 2, 7, payload, 27);
+  ASSERT_EQ(fragments.size(), 4u);
+  EXPECT_EQ(reassembler.Add(fragments[2], 0), std::nullopt);
+  EXPECT_EQ(reassembler.Add(fragments[0], 0), std::nullopt);
+  EXPECT_EQ(reassembler.Add(fragments[0], 0), std::nullopt);  // duplicate
+  EXPECT_EQ(reassembler.Add(fragments[3], 0), std::nullopt);
+  const auto completed = reassembler.Add(fragments[1], 0);
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(completed->payload, payload);
+}
+
+TEST(FragmentationTest, MissingFragmentTimesOut) {
+  Reassembler reassembler(kSecond);
+  const auto fragments = SplitMessage(1, 2, 7, std::vector<uint8_t>(60, 1), 27);
+  reassembler.Add(fragments[0], 0);
+  reassembler.Add(fragments[1], 0);
+  EXPECT_EQ(reassembler.pending(), 1u);
+  reassembler.Purge(2 * kSecond);
+  EXPECT_EQ(reassembler.pending(), 0u);
+  // The late fragment alone cannot complete the message.
+  EXPECT_EQ(reassembler.Add(fragments[2], 2 * kSecond), std::nullopt);
+}
+
+TEST(FragmentationTest, InterleavedSendersReassembleIndependently) {
+  Reassembler reassembler(kSecond);
+  const std::vector<uint8_t> pa(30, 0xaa);
+  const std::vector<uint8_t> pb(30, 0xbb);
+  const auto fa = SplitMessage(1, 9, 5, pa, 27);
+  const auto fb = SplitMessage(2, 9, 5, pb, 27);
+  ASSERT_EQ(fa.size(), 2u);
+  EXPECT_EQ(reassembler.Add(fa[0], 0), std::nullopt);
+  EXPECT_EQ(reassembler.Add(fb[0], 0), std::nullopt);
+  auto done_b = reassembler.Add(fb[1], 0);
+  ASSERT_TRUE(done_b.has_value());
+  EXPECT_EQ(done_b->payload, pb);
+  auto done_a = reassembler.Add(fa[1], 0);
+  ASSERT_TRUE(done_a.has_value());
+  EXPECT_EQ(done_a->payload, pa);
+}
+
+// ---- Radio / channel / MAC end-to-end ----
+
+TEST(RadioTest, DeliversAcrossOneHop) {
+  Simulator sim(1);
+  auto channel = MakeLineChannel(&sim, 2);
+  Radio a(&sim, channel.get(), 1, FastRadio());
+  Radio b(&sim, channel.get(), 2, FastRadio());
+  std::vector<uint8_t> received;
+  NodeId from = 0;
+  b.SetReceiveCallback([&](NodeId src, const std::vector<uint8_t>& payload) {
+    from = src;
+    received = payload;
+  });
+  const std::vector<uint8_t> payload(112, 0x42);
+  EXPECT_TRUE(a.SendMessage(kBroadcastId, payload));
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(from, 1u);
+  EXPECT_EQ(a.stats().messages_sent, 1u);
+  EXPECT_EQ(a.stats().fragments_sent, 5u);
+  EXPECT_EQ(b.stats().fragments_received, 5u);
+  EXPECT_EQ(b.stats().messages_received, 1u);
+  EXPECT_EQ(b.stats().message_bytes_received, 112u);
+}
+
+TEST(RadioTest, UnicastFilteredButOverheard) {
+  Simulator sim(2);
+  auto channel = MakeCliqueChannel(&sim, 3);
+  Radio a(&sim, channel.get(), 1, FastRadio());
+  Radio b(&sim, channel.get(), 2, FastRadio());
+  Radio c(&sim, channel.get(), 3, FastRadio());
+  int b_received = 0;
+  int c_received = 0;
+  b.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++b_received; });
+  c.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++c_received; });
+  a.SendMessage(2, std::vector<uint8_t>(40, 1));
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(b_received, 1);
+  EXPECT_EQ(c_received, 0);
+  // C still paid receive time for the overheard frames.
+  EXPECT_GT(c.stats().time_receiving, 0);
+}
+
+TEST(RadioTest, NoDeliveryOutOfRange) {
+  Simulator sim(3);
+  auto channel = MakeLineChannel(&sim, 3);  // 1-2-3; 1 cannot reach 3
+  Radio a(&sim, channel.get(), 1, FastRadio());
+  Radio b(&sim, channel.get(), 2, FastRadio());
+  Radio c(&sim, channel.get(), 3, FastRadio());
+  int c_received = 0;
+  c.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++c_received; });
+  a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1));
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(c_received, 0);
+}
+
+TEST(RadioTest, HiddenTerminalCollision) {
+  // 1 and 3 cannot hear each other but both reach 2: simultaneous
+  // transmissions collide at 2 (§6.1: "hidden terminals are endemic").
+  Simulator sim(4);
+  auto channel = MakeLineChannel(&sim, 3);
+  RadioConfig config = FastRadio();
+  config.mac.initial_jitter = 0;  // force exact overlap
+  Radio a(&sim, channel.get(), 1, config);
+  Radio b(&sim, channel.get(), 2, config);
+  Radio c(&sim, channel.get(), 3, config);
+  int b_received = 0;
+  b.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++b_received; });
+  a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1));
+  c.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 2));
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(b_received, 0);
+  EXPECT_GE(channel->stats().collisions, 2u);
+}
+
+TEST(RadioTest, CarrierSenseAvoidsCollisionWhenInRange) {
+  // When both senders hear each other, CSMA serializes them.
+  Simulator sim(5);
+  auto channel = MakeCliqueChannel(&sim, 3);
+  Radio a(&sim, channel.get(), 1, FastRadio());
+  Radio b(&sim, channel.get(), 2, FastRadio());
+  Radio c(&sim, channel.get(), 3, FastRadio());
+  int received = 0;
+  c.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1));
+    b.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 2));
+  }
+  sim.RunUntil(10 * kSecond);
+  EXPECT_EQ(received, 20);
+}
+
+TEST(RadioTest, LossyLinkDropsWholeMessages) {
+  // Per-fragment loss amplifies into message loss (§6.1): with 5 fragments
+  // at 70% fragment delivery, message delivery ≈ 0.7^5 ≈ 17%.
+  Simulator sim(6);
+  auto channel = MakeLineChannel(&sim, 2, 0.7);
+  Radio a(&sim, channel.get(), 1, FastRadio());
+  Radio b(&sim, channel.get(), 2, FastRadio());
+  int received = 0;
+  b.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++received; });
+  const int sent = 300;
+  for (int i = 0; i < sent; ++i) {
+    sim.After(i * 20 * kMillisecond, [&a] { a.SendMessage(kBroadcastId, std::vector<uint8_t>(112, 3)); });
+  }
+  sim.RunUntil(20 * kSecond);
+  const double rate = static_cast<double>(received) / sent;
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(RadioTest, DeadRadioNeitherSendsNorReceives) {
+  Simulator sim(7);
+  auto channel = MakeLineChannel(&sim, 2);
+  Radio a(&sim, channel.get(), 1, FastRadio());
+  Radio b(&sim, channel.get(), 2, FastRadio());
+  int received = 0;
+  b.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++received; });
+  b.Kill();
+  a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1));
+  sim.RunUntil(kSecond);
+  EXPECT_EQ(received, 0);
+  a.Kill();
+  EXPECT_FALSE(a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1)));
+  b.Revive();
+  a.Revive();
+  EXPECT_TRUE(a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1)));
+  sim.RunUntil(2 * kSecond);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(MacTest, QueueOverflowDrops) {
+  Simulator sim(8);
+  auto channel = MakeLineChannel(&sim, 2);
+  RadioConfig config = FastRadio();
+  config.mac.queue_limit = 4;
+  Radio a(&sim, channel.get(), 1, config);
+  Radio b(&sim, channel.get(), 2, config);
+  // 3 messages of 5 fragments each = 15 fragments, queue holds 4.
+  for (int i = 0; i < 3; ++i) {
+    a.SendMessage(kBroadcastId, std::vector<uint8_t>(112, 1));
+  }
+  EXPECT_GT(a.stats().fragments_dropped, 0u);
+  sim.RunUntil(kSecond);
+  EXPECT_GT(a.mac_stats().frames_sent, 0u);
+}
+
+TEST(MacTest, AirtimeScalesWithBytes) {
+  Simulator sim(9);
+  auto channel = MakeLineChannel(&sim, 2);
+  MacConfig config;
+  config.bitrate_bps = 13000;
+  config.frame_overhead_bytes = 8;
+  Radio radio(&sim, channel.get(), 1, RadioConfig{config, 27, 10 * kSecond});
+  // A full 27-byte fragment: (27 + 16 header + 8 overhead) * 8 bits / 13kbps.
+  CsmaMac mac(&sim, channel.get(), &radio, config);
+  const SimDuration airtime = mac.FrameAirtime(Fragment::kHeaderBytes + 27);
+  const double expected_s = (27.0 + Fragment::kHeaderBytes + 8.0) * 8.0 / 13000.0;
+  EXPECT_NEAR(DurationToSeconds(airtime), expected_s, 1e-6);
+}
+
+// ---- Duty-cycled MAC ----
+
+TEST(DutyCycleTest, WindowHelpers) {
+  MacConfig config;
+  config.duty_cycle = 0.25;
+  config.duty_period = 1000;
+  EXPECT_TRUE(InAwakeWindow(0, config));
+  EXPECT_TRUE(InAwakeWindow(249, config));
+  EXPECT_FALSE(InAwakeWindow(250, config));
+  EXPECT_FALSE(InAwakeWindow(999, config));
+  EXPECT_TRUE(InAwakeWindow(1000, config));
+  EXPECT_EQ(NextAwakeTime(100, config), 100);
+  EXPECT_EQ(NextAwakeTime(500, config), 1000);
+  config.duty_cycle = 1.0;
+  EXPECT_TRUE(InAwakeWindow(999999, config));
+}
+
+TEST(DutyCycleTest, TransmissionsDeferredIntoAwakeWindows) {
+  Simulator sim(41);
+  auto channel = MakeLineChannel(&sim, 2);
+  RadioConfig config = FastRadio();
+  config.mac.duty_cycle = 0.2;
+  config.mac.duty_period = 1 * kSecond;
+  Radio a(&sim, channel.get(), 1, config);
+  Radio b(&sim, channel.get(), 2, config);
+  std::vector<SimTime> deliveries;
+  b.SetReceiveCallback(
+      [&](NodeId, const std::vector<uint8_t>&) { deliveries.push_back(sim.now()); });
+  // Send mid-sleep (t = 0.5 s): the frame must wait for the 1.0 s window.
+  sim.At(500 * kMillisecond, [&a] { a.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1)); });
+  sim.RunUntil(5 * kSecond);
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_GE(deliveries[0], 1 * kSecond);
+  EXPECT_LT(deliveries[0] % kSecond, 200 * kMillisecond + 10 * kMillisecond);
+}
+
+TEST(DutyCycleTest, SleepingReceiverPaysNoReceiveTime) {
+  Simulator sim(42);
+  auto channel = MakeLineChannel(&sim, 2);
+  RadioConfig awake_config = FastRadio();  // sender always on
+  RadioConfig sleepy_config = FastRadio();
+  sleepy_config.mac.duty_cycle = 0.1;
+  sleepy_config.mac.duty_period = 1 * kSecond;
+  Radio sender(&sim, channel.get(), 1, awake_config);
+  Radio sleeper(&sim, channel.get(), 2, sleepy_config);
+  int received = 0;
+  sleeper.SetReceiveCallback([&](NodeId, const std::vector<uint8_t>&) { ++received; });
+  // The always-on sender transmits while the sleeper is off: nothing heard.
+  sim.At(500 * kMillisecond, [&sender] {
+    sender.SendMessage(kBroadcastId, std::vector<uint8_t>(20, 1));
+  });
+  sim.RunUntil(900 * kMillisecond);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(sleeper.stats().time_receiving, 0);
+}
+
+TEST(DutyCycleTest, DiffusionWorksUnderDutyCyclingWithAddedLatency) {
+  auto run = [](double duty) {
+    Simulator sim(43);
+    auto channel = MakeLineChannel(&sim, 3);
+    RadioConfig config = FastRadio();
+    config.mac.duty_cycle = duty;
+    config.mac.duty_period = 1 * kSecond;
+    std::vector<std::unique_ptr<DiffusionNode>> nodes;
+    for (NodeId id = 1; id <= 3; ++id) {
+      nodes.push_back(
+          std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, config));
+    }
+    std::vector<SimTime> latencies;
+    nodes[0]->Subscribe(
+        {ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "t")},
+        [&](const AttributeVector& attrs) {
+          const Attribute* stamp = FindActual(attrs, kKeyTimestamp);
+          latencies.push_back(sim.now() - stamp->AsInt().value_or(0));
+        });
+    const PublicationHandle pub =
+        nodes[2]->Publish({Attribute::String(kKeyType, AttrOp::kIs, "t")});
+    sim.RunUntil(5 * kSecond);
+    for (int i = 0; i < 10; ++i) {
+      sim.After(i * 5 * kSecond + 2718281, [&, i] {
+        nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i),
+                             Attribute::Int64(kKeyTimestamp, AttrOp::kIs, sim.now())});
+      });
+    }
+    sim.RunUntil(2 * kMinute);
+    double mean = 0;
+    for (SimTime latency : latencies) {
+      mean += static_cast<double>(latency);
+    }
+    return std::pair<size_t, double>(latencies.size(),
+                                     latencies.empty() ? 0.0 : mean / latencies.size());
+  };
+  const auto [count_full, latency_full] = run(1.0);
+  const auto [count_low, latency_low] = run(0.3);
+  EXPECT_GE(count_full, 9u);
+  EXPECT_GE(count_low, 9u);  // still functional
+  EXPECT_GT(latency_low, latency_full * 3);  // but pays sleep deferral
+}
+
+// ---- Energy model (§6.1) ----
+
+TEST(EnergyModelTest, FullDutyCycleDominatedByListening) {
+  const double fraction = ListenEnergyFraction(1.0, EnergyRatios{}, PaperTimeShares());
+  EXPECT_GT(fraction, 0.8);
+}
+
+TEST(EnergyModelTest, HalfEnergyAtTwentyTwoPercent) {
+  // "At duty cycle of 22% half of the energy is spent listening."
+  const double fraction = ListenEnergyFraction(0.22, EnergyRatios{}, PaperTimeShares());
+  EXPECT_NEAR(fraction, 0.5, 0.03);
+}
+
+TEST(EnergyModelTest, TenPercentDominatedByCommunication) {
+  // "Duty cycles of 10% begin to be dominated by send cost."
+  const double fraction = ListenEnergyFraction(0.10, EnergyRatios{}, PaperTimeShares());
+  EXPECT_LT(fraction, 0.4);
+}
+
+TEST(EnergyModelTest, TotalEnergyMonotoneInDutyCycle) {
+  double last = 0.0;
+  for (double d = 0.0; d <= 1.0; d += 0.1) {
+    const double energy = TotalEnergy(d, EnergyRatios{}, PaperTimeShares());
+    EXPECT_GE(energy, last);
+    last = energy;
+  }
+}
+
+TEST(EnergyModelTest, SharesFromStatsPartitionsTime) {
+  RadioStats stats;
+  stats.time_receiving = 3 * kSecond;
+  const TimeShares shares = SharesFromStats(stats, 2 * kSecond, 10 * kSecond);
+  EXPECT_NEAR(shares.send, 0.2, 1e-9);
+  EXPECT_NEAR(shares.receive, 0.3, 1e-9);
+  EXPECT_NEAR(shares.listen, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace diffusion

@@ -1,0 +1,157 @@
+// Tests for the discrete-event scheduler and simulator driver.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace diffusion {
+namespace {
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  EventScheduler scheduler;
+  std::vector<int> order;
+  scheduler.ScheduleAt(30, [&] { order.push_back(3); });
+  scheduler.ScheduleAt(10, [&] { order.push_back(1); });
+  scheduler.ScheduleAt(20, [&] { order.push_back(2); });
+  scheduler.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(scheduler.now(), 30);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  EventScheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  scheduler.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  EventScheduler scheduler;
+  bool ran = false;
+  const EventId id = scheduler.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(scheduler.Cancel(id));
+  scheduler.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndSafeAfterRun) {
+  EventScheduler scheduler;
+  const EventId id = scheduler.ScheduleAt(10, [] {});
+  scheduler.RunAll();
+  EXPECT_FALSE(scheduler.Cancel(id));
+  EXPECT_FALSE(scheduler.Cancel(id));
+  EXPECT_FALSE(scheduler.Cancel(kInvalidEventId));
+  EXPECT_TRUE(scheduler.Empty());
+}
+
+TEST(SchedulerTest, PendingCountTracksCancellation) {
+  EventScheduler scheduler;
+  const EventId a = scheduler.ScheduleAt(10, [] {});
+  scheduler.ScheduleAt(20, [] {});
+  EXPECT_EQ(scheduler.pending(), 2u);
+  scheduler.Cancel(a);
+  EXPECT_EQ(scheduler.pending(), 1u);
+  scheduler.RunAll();
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  EventScheduler scheduler;
+  std::vector<SimTime> times;
+  scheduler.ScheduleAt(1, [&] {
+    times.push_back(scheduler.now());
+    scheduler.ScheduleAfter(5, [&] { times.push_back(scheduler.now()); });
+  });
+  scheduler.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 6}));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryInclusive) {
+  EventScheduler scheduler;
+  std::vector<SimTime> times;
+  scheduler.ScheduleAt(10, [&] { times.push_back(10); });
+  scheduler.ScheduleAt(20, [&] { times.push_back(20); });
+  scheduler.ScheduleAt(21, [&] { times.push_back(21); });
+  const size_t run = scheduler.RunUntil(20);
+  EXPECT_EQ(run, 2u);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(scheduler.now(), 20);
+  scheduler.RunAll();
+  EXPECT_EQ(times.back(), 21);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWhenQueueDrains) {
+  EventScheduler scheduler;
+  scheduler.ScheduleAt(5, [] {});
+  scheduler.RunUntil(100);
+  EXPECT_EQ(scheduler.now(), 100);
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  EventScheduler scheduler;
+  scheduler.ScheduleAt(50, [] {});
+  scheduler.RunAll();
+  SimTime when = -1;
+  scheduler.ScheduleAt(10, [&] { when = scheduler.now(); });
+  scheduler.RunAll();
+  EXPECT_EQ(when, 50);  // clamped, not time-travel
+}
+
+TEST(SchedulerTest, CancelFromInsideCallback) {
+  EventScheduler scheduler;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  second = scheduler.ScheduleAt(20, [&] { second_ran = true; });
+  scheduler.ScheduleAt(10, [&] { scheduler.Cancel(second); });
+  scheduler.RunAll();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(SimulatorTest, SeedsAreReproducible) {
+  Simulator a(99);
+  Simulator b(99);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.rng().Next(), b.rng().Next());
+  }
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.After(10, [&] {
+    times.push_back(sim.now());
+    sim.After(10, [&] { times.push_back(sim.now()); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(SchedulerTest, ManyEventsStressOrdering) {
+  EventScheduler scheduler;
+  Rng rng(5);
+  SimTime last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime when = rng.NextInt(0, 10000);
+    scheduler.ScheduleAt(when, [&, when] {
+      if (when < last) {
+        monotonic = false;
+      }
+      last = when;
+    });
+  }
+  scheduler.RunAll();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace diffusion

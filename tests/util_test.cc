@@ -1,0 +1,262 @@
+// Tests for src/util: RNG, statistics, byte buffers.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/byte_buffer.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntWithinBoundsAndCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t value = rng.NextInt(3, 7);
+    EXPECT_GE(value, 3);
+    EXPECT_LE(value, 7);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntSingletonRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBool(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += rng.NextExponential(5.0);
+  }
+  EXPECT_NEAR(sum / trials, 5.0, 0.2);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // Streams should not track each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(v);
+  }
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  RunningStat stat;
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.confidence95(), 0.0);
+  stat.Add(3.0);
+  EXPECT_EQ(stat.mean(), 3.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.confidence95(), 0.0);
+}
+
+TEST(StatsTest, Confidence95UsesStudentT) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(2.0);
+  stat.Add(3.0);
+  // n=3, df=2: t = 4.303, s = 1, se = 1/sqrt(3)
+  EXPECT_NEAR(stat.confidence95(), 4.303 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(StatsTest, MergeMatchesCombinedStream) {
+  RunningStat a;
+  RunningStat b;
+  RunningStat combined;
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.NextDouble() * 10;
+    a.Add(v);
+    combined.Add(v);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double v = rng.NextDouble() * 3 - 5;
+    b.Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(StatsTest, StudentTTableEdges) {
+  EXPECT_DOUBLE_EQ(StudentT95(0), 0.0);
+  EXPECT_DOUBLE_EQ(StudentT95(1), 12.706);
+  EXPECT_DOUBLE_EQ(StudentT95(4), 2.776);
+  EXPECT_DOUBLE_EQ(StudentT95(30), 2.042);
+  EXPECT_DOUBLE_EQ(StudentT95(1000), 1.960);
+}
+
+TEST(ByteBufferTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU16(0x1234);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  writer.WriteI32(-12345);
+  writer.WriteI64(-9876543210LL);
+  writer.WriteF32(3.5f);
+  writer.WriteF64(-2.75);
+
+  ByteReader reader(writer.data());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  float f32;
+  double f64;
+  ASSERT_TRUE(reader.ReadU8(&u8));
+  ASSERT_TRUE(reader.ReadU16(&u16));
+  ASSERT_TRUE(reader.ReadU32(&u32));
+  ASSERT_TRUE(reader.ReadU64(&u64));
+  ASSERT_TRUE(reader.ReadI32(&i32));
+  ASSERT_TRUE(reader.ReadI64(&i64));
+  ASSERT_TRUE(reader.ReadF32(&f32));
+  ASSERT_TRUE(reader.ReadF64(&f64));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(i64, -9876543210LL);
+  EXPECT_EQ(f32, 3.5f);
+  EXPECT_EQ(f64, -2.75);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, StringAndBytesRoundTrip) {
+  ByteWriter writer;
+  writer.WriteString("hello diffusion");
+  writer.WriteBytes({1, 2, 3, 4, 5});
+  writer.WriteString("");
+
+  ByteReader reader(writer.data());
+  std::string text;
+  std::vector<uint8_t> bytes;
+  std::string empty;
+  ASSERT_TRUE(reader.ReadString(&text));
+  ASSERT_TRUE(reader.ReadBytes(&bytes));
+  ASSERT_TRUE(reader.ReadString(&empty));
+  EXPECT_EQ(text, "hello diffusion");
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ByteBufferTest, TruncatedReadFailsAndStaysFailed) {
+  ByteWriter writer;
+  writer.WriteU16(7);
+  ByteReader reader(writer.data());
+  uint32_t u32;
+  EXPECT_FALSE(reader.ReadU32(&u32));
+  EXPECT_FALSE(reader.ok());
+  uint16_t u16;
+  // Even a read that would otherwise fit fails once the reader is bad.
+  EXPECT_FALSE(reader.ReadU16(&u16));
+}
+
+TEST(ByteBufferTest, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.WriteU16(100);  // claims 100 bytes follow
+  writer.WriteU8('x');
+  ByteReader reader(writer.data());
+  std::string out;
+  EXPECT_FALSE(reader.ReadString(&out));
+}
+
+TEST(ByteBufferTest, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.WriteU32(0x01020304);
+  ASSERT_EQ(writer.size(), 4u);
+  EXPECT_EQ(writer.data()[0], 0x04);
+  EXPECT_EQ(writer.data()[3], 0x01);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(SecondsToDuration(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(DurationToSeconds(2 * kMinute), 120.0);
+  EXPECT_EQ(kSecond, 1'000'000);
+}
+
+}  // namespace
+}  // namespace diffusion
