@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/aggregation_strategies"
+  "../bench/aggregation_strategies.pdb"
+  "CMakeFiles/aggregation_strategies.dir/aggregation_strategies.cc.o"
+  "CMakeFiles/aggregation_strategies.dir/aggregation_strategies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

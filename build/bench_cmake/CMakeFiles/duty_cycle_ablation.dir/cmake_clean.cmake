@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/duty_cycle_ablation"
+  "../bench/duty_cycle_ablation.pdb"
+  "CMakeFiles/duty_cycle_ablation.dir/duty_cycle_ablation.cc.o"
+  "CMakeFiles/duty_cycle_ablation.dir/duty_cycle_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duty_cycle_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

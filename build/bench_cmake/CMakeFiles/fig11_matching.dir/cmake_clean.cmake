@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_matching"
+  "../bench/fig11_matching.pdb"
+  "CMakeFiles/fig11_matching.dir/fig11_matching.cc.o"
+  "CMakeFiles/fig11_matching.dir/fig11_matching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_matching_table"
+  "../bench/fig11_matching_table.pdb"
+  "CMakeFiles/fig11_matching_table.dir/fig11_matching_table.cc.o"
+  "CMakeFiles/fig11_matching_table.dir/fig11_matching_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_matching_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_prior_sim"
+  "../bench/fig6b_prior_sim.pdb"
+  "CMakeFiles/fig6b_prior_sim.dir/fig6b_prior_sim.cc.o"
+  "CMakeFiles/fig6b_prior_sim.dir/fig6b_prior_sim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_prior_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

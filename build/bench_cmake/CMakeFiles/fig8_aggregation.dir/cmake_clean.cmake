@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_aggregation"
+  "../bench/fig8_aggregation.pdb"
+  "CMakeFiles/fig8_aggregation.dir/fig8_aggregation.cc.o"
+  "CMakeFiles/fig8_aggregation.dir/fig8_aggregation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_traffic_model"
+  "../bench/fig8_traffic_model.pdb"
+  "CMakeFiles/fig8_traffic_model.dir/fig8_traffic_model.cc.o"
+  "CMakeFiles/fig8_traffic_model.dir/fig8_traffic_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_traffic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_nested_queries"
+  "../bench/fig9_nested_queries.pdb"
+  "CMakeFiles/fig9_nested_queries.dir/fig9_nested_queries.cc.o"
+  "CMakeFiles/fig9_nested_queries.dir/fig9_nested_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_nested_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/geo_scope_ablation"
+  "../bench/geo_scope_ablation.pdb"
+  "CMakeFiles/geo_scope_ablation.dir/geo_scope_ablation.cc.o"
+  "CMakeFiles/geo_scope_ablation.dir/geo_scope_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_scope_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

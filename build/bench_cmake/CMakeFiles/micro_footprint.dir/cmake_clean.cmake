@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_footprint"
+  "../bench/micro_footprint.pdb"
+  "CMakeFiles/micro_footprint.dir/micro_footprint.cc.o"
+  "CMakeFiles/micro_footprint.dir/micro_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/propagation_sensitivity"
+  "../bench/propagation_sensitivity.pdb"
+  "CMakeFiles/propagation_sensitivity.dir/propagation_sensitivity.cc.o"
+  "CMakeFiles/propagation_sensitivity.dir/propagation_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

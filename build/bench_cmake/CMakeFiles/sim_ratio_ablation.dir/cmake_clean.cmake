@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_ratio_ablation"
+  "../bench/sim_ratio_ablation.pdb"
+  "CMakeFiles/sim_ratio_ablation.dir/sim_ratio_ablation.cc.o"
+  "CMakeFiles/sim_ratio_ablation.dir/sim_ratio_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ratio_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/variant_ablation.cc" "bench_cmake/CMakeFiles/variant_ablation.dir/variant_ablation.cc.o" "gcc" "bench_cmake/CMakeFiles/variant_ablation.dir/variant_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/diffusion_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diffusion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/diffusion_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/micro/CMakeFiles/diffusion_micro.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/diffusion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/diffusion_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diffusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/diffusion_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/variant_ablation"
+  "../bench/variant_ablation.pdb"
+  "CMakeFiles/variant_ablation.dir/variant_ablation.cc.o"
+  "CMakeFiles/variant_ablation.dir/variant_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animal_tracking.dir/animal_tracking.cc.o"
+  "CMakeFiles/animal_tracking.dir/animal_tracking.cc.o.d"
+  "animal_tracking"
+  "animal_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animal_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

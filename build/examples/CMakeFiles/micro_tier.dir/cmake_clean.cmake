@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tier.dir/micro_tier.cc.o"
+  "CMakeFiles/micro_tier.dir/micro_tier.cc.o.d"
+  "micro_tier"
+  "micro_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

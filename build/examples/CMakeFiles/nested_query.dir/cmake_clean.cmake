@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_query.dir/nested_query.cc.o"
+  "CMakeFiles/nested_query.dir/nested_query.cc.o.d"
+  "nested_query"
+  "nested_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_proxy.dir/query_proxy.cc.o"
+  "CMakeFiles/query_proxy.dir/query_proxy.cc.o.d"
+  "query_proxy"
+  "query_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_transfer.dir/reliable_transfer.cc.o"
+  "CMakeFiles/reliable_transfer.dir/reliable_transfer.cc.o.d"
+  "reliable_transfer"
+  "reliable_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_aggregation.dir/surveillance_aggregation.cc.o"
+  "CMakeFiles/surveillance_aggregation.dir/surveillance_aggregation.cc.o.d"
+  "surveillance_aggregation"
+  "surveillance_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;21;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_animal_tracking "/root/repo/build/examples/animal_tracking")
+set_tests_properties(example_animal_tracking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;22;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_surveillance_aggregation "/root/repo/build/examples/surveillance_aggregation")
+set_tests_properties(example_surveillance_aggregation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;23;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nested_query "/root/repo/build/examples/nested_query")
+set_tests_properties(example_nested_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;24;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_micro_tier "/root/repo/build/examples/micro_tier")
+set_tests_properties(example_micro_tier PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;25;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reliable_transfer "/root/repo/build/examples/reliable_transfer")
+set_tests_properties(example_reliable_transfer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;26;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_query_proxy "/root/repo/build/examples/query_proxy")
+set_tests_properties(example_query_proxy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;27;diffusion_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/animal.cc" "src/apps/CMakeFiles/diffusion_apps.dir/animal.cc.o" "gcc" "src/apps/CMakeFiles/diffusion_apps.dir/animal.cc.o.d"
+  "/root/repo/src/apps/app_util.cc" "src/apps/CMakeFiles/diffusion_apps.dir/app_util.cc.o" "gcc" "src/apps/CMakeFiles/diffusion_apps.dir/app_util.cc.o.d"
+  "/root/repo/src/apps/blob_transfer.cc" "src/apps/CMakeFiles/diffusion_apps.dir/blob_transfer.cc.o" "gcc" "src/apps/CMakeFiles/diffusion_apps.dir/blob_transfer.cc.o.d"
+  "/root/repo/src/apps/election.cc" "src/apps/CMakeFiles/diffusion_apps.dir/election.cc.o" "gcc" "src/apps/CMakeFiles/diffusion_apps.dir/election.cc.o.d"
+  "/root/repo/src/apps/nested_query.cc" "src/apps/CMakeFiles/diffusion_apps.dir/nested_query.cc.o" "gcc" "src/apps/CMakeFiles/diffusion_apps.dir/nested_query.cc.o.d"
+  "/root/repo/src/apps/surveillance.cc" "src/apps/CMakeFiles/diffusion_apps.dir/surveillance.cc.o" "gcc" "src/apps/CMakeFiles/diffusion_apps.dir/surveillance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diffusion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/diffusion_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/diffusion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/diffusion_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diffusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_apps.dir/animal.cc.o"
+  "CMakeFiles/diffusion_apps.dir/animal.cc.o.d"
+  "CMakeFiles/diffusion_apps.dir/app_util.cc.o"
+  "CMakeFiles/diffusion_apps.dir/app_util.cc.o.d"
+  "CMakeFiles/diffusion_apps.dir/blob_transfer.cc.o"
+  "CMakeFiles/diffusion_apps.dir/blob_transfer.cc.o.d"
+  "CMakeFiles/diffusion_apps.dir/election.cc.o"
+  "CMakeFiles/diffusion_apps.dir/election.cc.o.d"
+  "CMakeFiles/diffusion_apps.dir/nested_query.cc.o"
+  "CMakeFiles/diffusion_apps.dir/nested_query.cc.o.d"
+  "CMakeFiles/diffusion_apps.dir/surveillance.cc.o"
+  "CMakeFiles/diffusion_apps.dir/surveillance.cc.o.d"
+  "libdiffusion_apps.a"
+  "libdiffusion_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_cache.cc" "src/core/CMakeFiles/diffusion_core.dir/data_cache.cc.o" "gcc" "src/core/CMakeFiles/diffusion_core.dir/data_cache.cc.o.d"
+  "/root/repo/src/core/gradient_table.cc" "src/core/CMakeFiles/diffusion_core.dir/gradient_table.cc.o" "gcc" "src/core/CMakeFiles/diffusion_core.dir/gradient_table.cc.o.d"
+  "/root/repo/src/core/message.cc" "src/core/CMakeFiles/diffusion_core.dir/message.cc.o" "gcc" "src/core/CMakeFiles/diffusion_core.dir/message.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/diffusion_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/diffusion_core.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/naming/CMakeFiles/diffusion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/diffusion_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diffusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_core.dir/data_cache.cc.o"
+  "CMakeFiles/diffusion_core.dir/data_cache.cc.o.d"
+  "CMakeFiles/diffusion_core.dir/gradient_table.cc.o"
+  "CMakeFiles/diffusion_core.dir/gradient_table.cc.o.d"
+  "CMakeFiles/diffusion_core.dir/message.cc.o"
+  "CMakeFiles/diffusion_core.dir/message.cc.o.d"
+  "CMakeFiles/diffusion_core.dir/node.cc.o"
+  "CMakeFiles/diffusion_core.dir/node.cc.o.d"
+  "libdiffusion_core.a"
+  "libdiffusion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

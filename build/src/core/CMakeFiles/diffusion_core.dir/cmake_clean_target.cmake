@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiffusion_core.a"
+)

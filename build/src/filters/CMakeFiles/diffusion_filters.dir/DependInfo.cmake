@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/cache_filter.cc" "src/filters/CMakeFiles/diffusion_filters.dir/cache_filter.cc.o" "gcc" "src/filters/CMakeFiles/diffusion_filters.dir/cache_filter.cc.o.d"
+  "/root/repo/src/filters/counting_aggregation_filter.cc" "src/filters/CMakeFiles/diffusion_filters.dir/counting_aggregation_filter.cc.o" "gcc" "src/filters/CMakeFiles/diffusion_filters.dir/counting_aggregation_filter.cc.o.d"
+  "/root/repo/src/filters/duplicate_suppression_filter.cc" "src/filters/CMakeFiles/diffusion_filters.dir/duplicate_suppression_filter.cc.o" "gcc" "src/filters/CMakeFiles/diffusion_filters.dir/duplicate_suppression_filter.cc.o.d"
+  "/root/repo/src/filters/geo_scope_filter.cc" "src/filters/CMakeFiles/diffusion_filters.dir/geo_scope_filter.cc.o" "gcc" "src/filters/CMakeFiles/diffusion_filters.dir/geo_scope_filter.cc.o.d"
+  "/root/repo/src/filters/logging_filter.cc" "src/filters/CMakeFiles/diffusion_filters.dir/logging_filter.cc.o" "gcc" "src/filters/CMakeFiles/diffusion_filters.dir/logging_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diffusion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/diffusion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/diffusion_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diffusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

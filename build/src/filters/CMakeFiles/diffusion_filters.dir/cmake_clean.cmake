@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_filters.dir/cache_filter.cc.o"
+  "CMakeFiles/diffusion_filters.dir/cache_filter.cc.o.d"
+  "CMakeFiles/diffusion_filters.dir/counting_aggregation_filter.cc.o"
+  "CMakeFiles/diffusion_filters.dir/counting_aggregation_filter.cc.o.d"
+  "CMakeFiles/diffusion_filters.dir/duplicate_suppression_filter.cc.o"
+  "CMakeFiles/diffusion_filters.dir/duplicate_suppression_filter.cc.o.d"
+  "CMakeFiles/diffusion_filters.dir/geo_scope_filter.cc.o"
+  "CMakeFiles/diffusion_filters.dir/geo_scope_filter.cc.o.d"
+  "CMakeFiles/diffusion_filters.dir/logging_filter.cc.o"
+  "CMakeFiles/diffusion_filters.dir/logging_filter.cc.o.d"
+  "libdiffusion_filters.a"
+  "libdiffusion_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/micro/micro_gateway.cc" "src/micro/CMakeFiles/diffusion_micro.dir/micro_gateway.cc.o" "gcc" "src/micro/CMakeFiles/diffusion_micro.dir/micro_gateway.cc.o.d"
+  "/root/repo/src/micro/micro_node.cc" "src/micro/CMakeFiles/diffusion_micro.dir/micro_node.cc.o" "gcc" "src/micro/CMakeFiles/diffusion_micro.dir/micro_node.cc.o.d"
+  "/root/repo/src/micro/micro_wire.cc" "src/micro/CMakeFiles/diffusion_micro.dir/micro_wire.cc.o" "gcc" "src/micro/CMakeFiles/diffusion_micro.dir/micro_wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/diffusion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/diffusion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/diffusion_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/diffusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

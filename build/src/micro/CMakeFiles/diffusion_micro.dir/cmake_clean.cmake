@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_micro.dir/micro_gateway.cc.o"
+  "CMakeFiles/diffusion_micro.dir/micro_gateway.cc.o.d"
+  "CMakeFiles/diffusion_micro.dir/micro_node.cc.o"
+  "CMakeFiles/diffusion_micro.dir/micro_node.cc.o.d"
+  "CMakeFiles/diffusion_micro.dir/micro_wire.cc.o"
+  "CMakeFiles/diffusion_micro.dir/micro_wire.cc.o.d"
+  "libdiffusion_micro.a"
+  "libdiffusion_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

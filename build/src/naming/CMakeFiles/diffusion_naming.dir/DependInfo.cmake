@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/naming/attribute.cc" "src/naming/CMakeFiles/diffusion_naming.dir/attribute.cc.o" "gcc" "src/naming/CMakeFiles/diffusion_naming.dir/attribute.cc.o.d"
+  "/root/repo/src/naming/keys.cc" "src/naming/CMakeFiles/diffusion_naming.dir/keys.cc.o" "gcc" "src/naming/CMakeFiles/diffusion_naming.dir/keys.cc.o.d"
+  "/root/repo/src/naming/matching.cc" "src/naming/CMakeFiles/diffusion_naming.dir/matching.cc.o" "gcc" "src/naming/CMakeFiles/diffusion_naming.dir/matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

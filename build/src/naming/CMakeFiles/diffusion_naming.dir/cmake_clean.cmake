@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_naming.dir/attribute.cc.o"
+  "CMakeFiles/diffusion_naming.dir/attribute.cc.o.d"
+  "CMakeFiles/diffusion_naming.dir/keys.cc.o"
+  "CMakeFiles/diffusion_naming.dir/keys.cc.o.d"
+  "CMakeFiles/diffusion_naming.dir/matching.cc.o"
+  "CMakeFiles/diffusion_naming.dir/matching.cc.o.d"
+  "libdiffusion_naming.a"
+  "libdiffusion_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cc" "src/radio/CMakeFiles/diffusion_radio.dir/channel.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/channel.cc.o.d"
+  "/root/repo/src/radio/energy.cc" "src/radio/CMakeFiles/diffusion_radio.dir/energy.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/energy.cc.o.d"
+  "/root/repo/src/radio/fragmentation.cc" "src/radio/CMakeFiles/diffusion_radio.dir/fragmentation.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/fragmentation.cc.o.d"
+  "/root/repo/src/radio/mac.cc" "src/radio/CMakeFiles/diffusion_radio.dir/mac.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/mac.cc.o.d"
+  "/root/repo/src/radio/propagation.cc" "src/radio/CMakeFiles/diffusion_radio.dir/propagation.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/propagation.cc.o.d"
+  "/root/repo/src/radio/radio.cc" "src/radio/CMakeFiles/diffusion_radio.dir/radio.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/radio.cc.o.d"
+  "/root/repo/src/radio/shadowing.cc" "src/radio/CMakeFiles/diffusion_radio.dir/shadowing.cc.o" "gcc" "src/radio/CMakeFiles/diffusion_radio.dir/shadowing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/diffusion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diffusion_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_radio.dir/channel.cc.o"
+  "CMakeFiles/diffusion_radio.dir/channel.cc.o.d"
+  "CMakeFiles/diffusion_radio.dir/energy.cc.o"
+  "CMakeFiles/diffusion_radio.dir/energy.cc.o.d"
+  "CMakeFiles/diffusion_radio.dir/fragmentation.cc.o"
+  "CMakeFiles/diffusion_radio.dir/fragmentation.cc.o.d"
+  "CMakeFiles/diffusion_radio.dir/mac.cc.o"
+  "CMakeFiles/diffusion_radio.dir/mac.cc.o.d"
+  "CMakeFiles/diffusion_radio.dir/propagation.cc.o"
+  "CMakeFiles/diffusion_radio.dir/propagation.cc.o.d"
+  "CMakeFiles/diffusion_radio.dir/radio.cc.o"
+  "CMakeFiles/diffusion_radio.dir/radio.cc.o.d"
+  "CMakeFiles/diffusion_radio.dir/shadowing.cc.o"
+  "CMakeFiles/diffusion_radio.dir/shadowing.cc.o.d"
+  "libdiffusion_radio.a"
+  "libdiffusion_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_sim.dir/event_scheduler.cc.o"
+  "CMakeFiles/diffusion_sim.dir/event_scheduler.cc.o.d"
+  "CMakeFiles/diffusion_sim.dir/simulator.cc.o"
+  "CMakeFiles/diffusion_sim.dir/simulator.cc.o.d"
+  "libdiffusion_sim.a"
+  "libdiffusion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

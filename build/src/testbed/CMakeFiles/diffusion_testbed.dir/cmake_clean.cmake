@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_testbed.dir/experiments.cc.o"
+  "CMakeFiles/diffusion_testbed.dir/experiments.cc.o.d"
+  "CMakeFiles/diffusion_testbed.dir/harness.cc.o"
+  "CMakeFiles/diffusion_testbed.dir/harness.cc.o.d"
+  "CMakeFiles/diffusion_testbed.dir/monitor.cc.o"
+  "CMakeFiles/diffusion_testbed.dir/monitor.cc.o.d"
+  "CMakeFiles/diffusion_testbed.dir/topology.cc.o"
+  "CMakeFiles/diffusion_testbed.dir/topology.cc.o.d"
+  "CMakeFiles/diffusion_testbed.dir/traffic_model.cc.o"
+  "CMakeFiles/diffusion_testbed.dir/traffic_model.cc.o.d"
+  "libdiffusion_testbed.a"
+  "libdiffusion_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_util.dir/byte_buffer.cc.o"
+  "CMakeFiles/diffusion_util.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/diffusion_util.dir/logging.cc.o"
+  "CMakeFiles/diffusion_util.dir/logging.cc.o.d"
+  "CMakeFiles/diffusion_util.dir/rng.cc.o"
+  "CMakeFiles/diffusion_util.dir/rng.cc.o.d"
+  "CMakeFiles/diffusion_util.dir/stats.cc.o"
+  "CMakeFiles/diffusion_util.dir/stats.cc.o.d"
+  "libdiffusion_util.a"
+  "libdiffusion_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_transfer_test.dir/blob_transfer_test.cc.o"
+  "CMakeFiles/blob_transfer_test.dir/blob_transfer_test.cc.o.d"
+  "blob_transfer_test"
+  "blob_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
