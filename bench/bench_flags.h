@@ -22,6 +22,18 @@ inline int64_t IntFlag(int argc, char** argv, const char* name, int64_t fallback
   return fallback;
 }
 
+// Returns the value of "--name=..." from argv, or `fallback`.
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const std::string& fallback = "") {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 inline bool BoolFlag(int argc, char** argv, const char* name) {
   const std::string plain = std::string("--") + name;
   for (int i = 1; i < argc; ++i) {

@@ -26,7 +26,12 @@ int Main(int argc, char** argv) {
   const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 3));
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 15));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 8000));
+  // Flight recorder: trace the first (always-on) run only.
+  const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
 
+  if (!trace_out.empty()) {
+    std::printf("writing JSONL trace of the first duty-1.0 run to %s\n", trace_out.c_str());
+  }
   std::printf("=== Duty-cycled MAC on the Figure-8 workload (4 sources, suppression on,\n");
   std::printf("    %d runs x %d min; energy = measured times at power 1:2:2) ===\n\n", runs,
               minutes);
@@ -44,6 +49,7 @@ int Main(int argc, char** argv) {
       params.duty_cycle = duty;
       params.duration = static_cast<SimDuration>(minutes) * kMinute;
       params.seed = base_seed + static_cast<uint64_t>(run);
+      params.trace_out = (duty == 1.0 && run == 0) ? trace_out : "";
       const Fig8Result result = RunFig8(params);
       energy.Add(result.energy_per_event);
       delivery.Add(result.delivery_rate * 100.0);

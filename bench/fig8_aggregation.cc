@@ -27,6 +27,10 @@ int Main(int argc, char** argv) {
   const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 5));
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 30));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 1000));
+  // Flight recorder: trace the first (1-source, with-suppression) run only —
+  // one full trace is plenty and tracing every sweep point would dwarf the
+  // results in I/O.
+  const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
 
   RunningStat bytes_with[5];
   RunningStat bytes_without[5];
@@ -41,7 +45,9 @@ int Main(int argc, char** argv) {
       params.seed = base_seed + static_cast<uint64_t>(run);
 
       params.suppression = true;
+      params.trace_out = (sources == 1 && run == 0) ? trace_out : "";
       const Fig8Result with = RunFig8(params);
+      params.trace_out.clear();
       bytes_with[sources].Add(with.bytes_per_event);
       delivery_with[sources].Add(with.delivery_rate * 100.0);
 
@@ -52,6 +58,9 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (!trace_out.empty()) {
+    std::printf("traced the 1-source with-suppression run to %s\n\n", trace_out.c_str());
+  }
   std::printf("=== Figure 8: in-network aggregation on the 14-node testbed ===\n");
   std::printf("(%d runs x %d min per point; bytes sent by all diffusion modules per distinct\n",
               runs, minutes);

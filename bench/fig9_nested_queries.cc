@@ -28,9 +28,15 @@ int Main(int argc, char** argv) {
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 20));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 2000));
   const bool triggered = bench::BoolFlag(argc, argv, "triggered");
+  // Flight recorder: trace the first nested run only.
+  const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
 
   const QueryMode flat_mode = triggered ? QueryMode::kFlatTriggered : QueryMode::kFlat;
   const int light_counts[] = {1, 2, 4};
+
+  if (!trace_out.empty()) {
+    std::printf("writing JSONL trace of the first nested run to %s\n", trace_out.c_str());
+  }
 
   std::printf("=== Figure 9: %% of light-change events delivering audio to the user ===\n");
   std::printf("(%d runs x %d min per point; mean ± 95%% CI; flat mode: %s)\n\n", runs, minutes,
@@ -50,7 +56,9 @@ int Main(int argc, char** argv) {
       params.seed = base_seed + static_cast<uint64_t>(run);
 
       params.mode = QueryMode::kNested;
+      params.trace_out = (lights == light_counts[0] && run == 0) ? trace_out : "";
       const Fig9Result nested = RunFig9(params);
+      params.trace_out.clear();
       nested_pct.Add(nested.delivered_fraction * 100.0);
       nested_bytes.Add(static_cast<double>(nested.diffusion_bytes));
 

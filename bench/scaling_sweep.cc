@@ -21,8 +21,15 @@ int Main(int argc, char** argv) {
   const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 3));
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 3));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 5000));
+  // Flight recorder: trace the first (smallest-network) run only.
+  const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
 
   const size_t node_counts[] = {30, 50, 80, 120};
+
+  if (!trace_out.empty()) {
+    std::printf("writing JSONL trace of the first %zu-node run to %s\n", node_counts[0],
+                trace_out.c_str());
+  }
 
   std::printf("=== Scalability sweep (5 sources, 5 sinks, suppression on, 1.6 Mb/s,\n");
   std::printf("    %d runs x %d min per point) ===\n\n", runs, minutes);
@@ -41,6 +48,7 @@ int Main(int argc, char** argv) {
       params.field_size = 100.0 * std::sqrt(static_cast<double>(nodes) / 50.0);
       params.duration = static_cast<SimDuration>(minutes) * kMinute;
       params.seed = base_seed + static_cast<uint64_t>(run);
+      params.trace_out = (nodes == node_counts[0] && run == 0) ? trace_out : "";
       const ScaleResult result = RunScaleExperiment(params);
       bytes.Add(result.bytes_per_event);
       delivery.Add(result.delivery_rate * 100.0);

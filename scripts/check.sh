@@ -1,7 +1,20 @@
 #!/usr/bin/env bash
-# Full verification pipeline: configure, build, test, run every benchmark.
+# Full verification pipeline: hygiene, configure, build, test, run every
+# benchmark.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Repo hygiene: build trees and their artifacts must never be committed.
+if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  tracked_artifacts=$(git ls-files | grep -E \
+    '(^|/)(build|cmake-build-[^/]*)/|\.o$|\.obj$|\.a$|\.so$|CMakeCache\.txt$|(^|/)CMakeFiles/' \
+    || true)
+  if [[ -n "${tracked_artifacts}" ]]; then
+    echo "ERROR: build-tree artifacts are committed to the repository:" >&2
+    echo "${tracked_artifacts}" >&2
+    exit 1
+  fi
+fi
 
 cmake -B build -G Ninja
 cmake --build build

@@ -3,17 +3,37 @@
 namespace diffusion {
 
 bool DataCache::CheckAndInsert(uint64_t id) {
-  if (set_.count(id) > 0) {
+  const auto [it, inserted] = set_.emplace(id, next_tick_);
+  if (!inserted) {
     ++hits_;
     return true;
   }
-  set_.insert(id);
-  order_.push_back(id);
-  while (order_.size() > capacity_) {
-    set_.erase(order_.front());
+  order_.emplace_back(id, next_tick_);
+  ++next_tick_;
+  while (set_.size() > capacity_ && !order_.empty()) {
+    const auto [victim, tick] = order_.front();
     order_.pop_front();
+    auto victim_it = set_.find(victim);
+    // Only evict when the ticks agree: a stale order record (its id evicted
+    // and later re-inserted) must not take out the live entry.
+    if (victim_it != set_.end() && victim_it->second == tick) {
+      set_.erase(victim_it);
+    }
   }
   return false;
+}
+
+bool DataCache::ConsistencyCheck() const {
+  if (set_.size() != order_.size()) {
+    return false;
+  }
+  for (const auto& [id, tick] : order_) {
+    const auto it = set_.find(id);
+    if (it == set_.end() || it->second != tick) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace diffusion

@@ -4,6 +4,12 @@
 // messages and prevent loops." Entries are packet ids (origin + sequence),
 // which survive re-broadcast, so a flooded message is processed at most once
 // per node. Bounded FIFO eviction keeps memory constant.
+//
+// The membership set and the FIFO order are kept in lock-step by stamping
+// each insertion with a monotonically increasing tick: eviction only removes
+// a set entry whose tick matches the order record being popped, so a stale
+// order record for an id that was since re-inserted can never evict the live
+// entry (the set/order desync that once inflated duplicate counts).
 
 #ifndef SRC_CORE_DATA_CACHE_H_
 #define SRC_CORE_DATA_CACHE_H_
@@ -11,7 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
+#include <unordered_map>
+#include <utility>
 
 namespace diffusion {
 
@@ -27,11 +34,20 @@ class DataCache {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
 
+  // FIFO bookkeeping entries, including any stale ones awaiting eviction.
+  // Invariant-checked by tests: equals size() under public-API use.
+  size_t order_size() const { return order_.size(); }
+
+  // True when the membership set and FIFO order agree: same size, and every
+  // order record's id is live with a matching insertion tick.
+  bool ConsistencyCheck() const;
+
  private:
   size_t capacity_;
   uint64_t hits_ = 0;
-  std::unordered_set<uint64_t> set_;
-  std::deque<uint64_t> order_;
+  uint64_t next_tick_ = 0;
+  std::unordered_map<uint64_t, uint64_t> set_;            // id -> insertion tick
+  std::deque<std::pair<uint64_t, uint64_t>> order_;       // (id, insertion tick)
 };
 
 }  // namespace diffusion

@@ -24,14 +24,23 @@ Gradient& InterestEntry::AddOrRefreshGradient(NodeId neighbor, SimTime new_expir
   return gradients.back();
 }
 
-void InterestEntry::ExpireGradients(SimTime now) {
+void InterestEntry::ExpireGradients(
+    SimTime now, const std::function<void(const InterestEntry&, const Gradient&)>* observer) {
   for (Gradient& gradient : gradients) {
     if (gradient.reinforced && gradient.reinforced_until < now) {
       gradient.reinforced = false;
     }
   }
   gradients.erase(std::remove_if(gradients.begin(), gradients.end(),
-                                 [now](const Gradient& g) { return g.expires < now; }),
+                                 [&](const Gradient& g) {
+                                   if (g.expires >= now) {
+                                     return false;
+                                   }
+                                   if (observer != nullptr && *observer) {
+                                     (*observer)(*this, g);
+                                   }
+                                   return true;
+                                 }),
                   gradients.end());
 }
 
@@ -79,7 +88,7 @@ InterestEntry& GradientTable::InsertOrRefresh(const AttributeVector& attrs, SimT
 
 void GradientTable::Expire(SimTime now) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    it->ExpireGradients(now);
+    it->ExpireGradients(now, &expiry_observer_);
     if (!it->is_local && it->expires < now && it->gradients.empty()) {
       it = entries_.erase(it);
     } else {

@@ -10,6 +10,7 @@
 #define SRC_CORE_GRADIENT_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -70,8 +71,11 @@ struct InterestEntry {
   Gradient* FindGradient(NodeId neighbor);
   // Inserts or refreshes a gradient toward `neighbor`.
   Gradient& AddOrRefreshGradient(NodeId neighbor, SimTime expires);
-  // Drops expired gradients and stale reinforcement flags.
-  void ExpireGradients(SimTime now);
+  // Drops expired gradients and stale reinforcement flags. When `observer`
+  // is non-null it is invoked for each dropped gradient (tracing hook).
+  void ExpireGradients(
+      SimTime now, const std::function<void(const InterestEntry&, const Gradient&)>* observer =
+                       nullptr);
   bool HasReinforcedGradient() const;
 };
 
@@ -103,9 +107,16 @@ class GradientTable {
   std::list<InterestEntry>& entries() { return entries_; }
   const std::list<InterestEntry>& entries() const { return entries_; }
 
+  // Invoked by Expire for every dropped gradient (flight-recorder hook).
+  // Costs nothing unless gradients actually expire.
+  void SetExpiryObserver(std::function<void(const InterestEntry&, const Gradient&)> observer) {
+    expiry_observer_ = std::move(observer);
+  }
+
  private:
   // std::list keeps InterestEntry* stable across insert/erase.
   std::list<InterestEntry> entries_;
+  std::function<void(const InterestEntry&, const Gradient&)> expiry_observer_;
 };
 
 }  // namespace diffusion

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/naming/matching.h"
+#include "src/radio/energy.h"
 #include "src/util/logging.h"
 
 namespace diffusion {
@@ -51,6 +52,13 @@ DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, Diffus
       rng_(sim->rng().Fork()) {
   radio_.SetReceiveCallback(
       [this](NodeId from, const std::vector<uint8_t>& bytes) { OnRadioReceive(from, bytes); });
+  gradients_.SetExpiryObserver([this](const InterestEntry& entry, const Gradient& gradient) {
+    (void)entry;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kGradientExpired, id_,
+                             gradient.neighbor, 0, gradient.reinforced ? 1 : 0});
+    }
+  });
 }
 
 DiffusionNode::~DiffusionNode() {
@@ -229,6 +237,39 @@ std::vector<NodeId> DiffusionNode::Neighbors() const {
   return neighbors;
 }
 
+void DiffusionNode::RegisterMetrics(MetricsRegistry* registry) {
+  registry->RegisterCounter(id_, "diffusion.messages_sent",
+                            [this] { return static_cast<double>(stats_.messages_sent); });
+  registry->RegisterCounter(id_, "diffusion.bytes_sent",
+                            [this] { return static_cast<double>(stats_.bytes_sent); });
+  registry->RegisterCounter(id_, "diffusion.interests_originated",
+                            [this] { return static_cast<double>(stats_.interests_originated); });
+  registry->RegisterCounter(id_, "diffusion.data_originated",
+                            [this] { return static_cast<double>(stats_.data_originated); });
+  registry->RegisterCounter(id_, "diffusion.messages_forwarded",
+                            [this] { return static_cast<double>(stats_.messages_forwarded); });
+  registry->RegisterCounter(id_, "diffusion.data_delivered_local",
+                            [this] { return static_cast<double>(stats_.data_delivered_local); });
+  registry->RegisterCounter(id_, "diffusion.duplicates_suppressed",
+                            [this] { return static_cast<double>(stats_.duplicates_suppressed); });
+  registry->RegisterCounter(id_, "diffusion.decode_failures",
+                            [this] { return static_cast<double>(stats_.decode_failures); });
+  registry->RegisterCounter(id_, "diffusion.reinforcements_sent",
+                            [this] { return static_cast<double>(stats_.reinforcements_sent); });
+  registry->RegisterCounter(id_, "diffusion.negative_reinforcements_sent", [this] {
+    return static_cast<double>(stats_.negative_reinforcements_sent);
+  });
+  registry->RegisterGauge(id_, "diffusion.gradient_entries",
+                          [this] { return static_cast<double>(gradients_.size()); });
+  // §6.1 energy model evaluated over the whole run so far.
+  registry->RegisterGauge(id_, "energy.relative", [this] {
+    const SimDuration window = std::max<SimDuration>(sim_->now(), 1);
+    const TimeShares shares = SharesFromStats(radio_.stats(), radio_.time_sending(), window);
+    return TotalEnergy(radio_.awake_fraction(), EnergyRatios{}, shares);
+  });
+  radio_.RegisterMetrics(registry);
+}
+
 void DiffusionNode::Kill() {
   alive_ = false;
   radio_.Kill();
@@ -250,6 +291,31 @@ void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& byte
     return;
   }
   message->last_hop = from;
+  if (sim_->tracing()) {
+    TraceEventKind kind = TraceEventKind::kDataReceived;
+    int64_t value = 0;
+    switch (message->type) {
+      case MessageType::kInterest:
+        kind = TraceEventKind::kInterestReceived;
+        break;
+      case MessageType::kExploratoryData:
+        kind = TraceEventKind::kDataReceived;
+        value = 1;
+        break;
+      case MessageType::kData:
+        kind = TraceEventKind::kDataReceived;
+        break;
+      case MessageType::kPositiveReinforcement:
+        kind = TraceEventKind::kReinforcementReceived;
+        value = 1;
+        break;
+      case MessageType::kNegativeReinforcement:
+        kind = TraceEventKind::kReinforcementReceived;
+        value = -1;
+        break;
+    }
+    sim_->Trace(TraceEvent{sim_->now(), kind, id_, from, message->PacketId(), value});
+  }
   gradients_.Expire(sim_->now());
   DispatchToChain(std::move(*message), std::numeric_limits<int32_t>::max());
 }
@@ -309,7 +375,12 @@ void DiffusionNode::ProcessInterest(Message& message) {
   InterestEntry& entry = gradients_.InsertOrRefresh(message.attrs, expires);
   const bool locally_originated = message.origin == id_ && message.last_hop == kBroadcastId;
   if (message.last_hop != kBroadcastId) {
+    const bool gradient_is_new = entry.FindGradient(message.last_hop) == nullptr;
     Gradient& gradient = entry.AddOrRefreshGradient(message.last_hop, expires);
+    if (gradient_is_new && sim_->tracing()) {
+      sim_->Trace(TraceEvent{now, TraceEventKind::kGradientCreated, id_, message.last_hop,
+                             message.PacketId(), 0});
+    }
     // "interval IS n" (milliseconds) bounds this gradient's update rate.
     if (const Attribute* interval = FindActual(message.attrs, kKeyInterval)) {
       if (std::optional<int64_t> ms = interval->AsInt()) {
@@ -331,6 +402,10 @@ void DiffusionNode::ProcessInterest(Message& message) {
   const bool first_copy = !seen_packets_.CheckAndInsert(message.PacketId());
   if (!first_copy) {
     ++stats_.duplicates_suppressed;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{now, TraceEventKind::kDuplicateSuppressed, id_, message.last_hop,
+                             message.PacketId(), 0});
+    }
     return;
   }
 
@@ -373,6 +448,10 @@ bool GradientAdmitsData(const Gradient& gradient, SimTime now) {
 void DiffusionNode::ProcessData(Message& message) {
   if (seen_packets_.CheckAndInsert(message.PacketId())) {
     ++stats_.duplicates_suppressed;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kDuplicateSuppressed, id_,
+                             message.last_hop, message.PacketId(), 1});
+    }
     return;
   }
   const SimTime now = sim_->now();
@@ -489,10 +568,19 @@ void DiffusionNode::ProcessPositiveReinforcement(Message& message) {
   }
   const SimTime now = sim_->now();
   if (message.last_hop != kBroadcastId) {
+    const bool gradient_is_new = entry->FindGradient(message.last_hop) == nullptr;
     Gradient& gradient =
         entry->AddOrRefreshGradient(message.last_hop, now + config_.gradient_lifetime);
     gradient.reinforced = true;
     gradient.reinforced_until = now + config_.reinforcement_lifetime;
+    if (sim_->tracing()) {
+      if (gradient_is_new) {
+        sim_->Trace(TraceEvent{now, TraceEventKind::kGradientCreated, id_, message.last_hop,
+                               message.PacketId(), 0});
+      }
+      sim_->Trace(TraceEvent{now, TraceEventKind::kGradientReinforced, id_, message.last_hop,
+                             message.PacketId(), 1});
+    }
   }
   if (entry->is_local || IsSourceFor(*entry)) {
     return;  // ends at the source (or at another sink)
@@ -516,6 +604,10 @@ void DiffusionNode::ProcessNegativeReinforcement(Message& message) {
   }
   if (Gradient* gradient = entry->FindGradient(message.last_hop)) {
     gradient->reinforced = false;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kGradientNegativelyReinforced, id_,
+                             message.last_hop, message.PacketId(), -1});
+    }
   }
   // If nothing downstream still wants full-rate data, tear the path down
   // further ("this negative reinforcement propagates neighbor-to-neighbor").
@@ -548,6 +640,30 @@ void DiffusionNode::TransmitMessage(const Message& message) {
   std::vector<uint8_t> bytes = message.Serialize();
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes.size();
+  if (sim_->tracing()) {
+    TraceEventKind kind = TraceEventKind::kDataForward;
+    int64_t value = static_cast<int64_t>(bytes.size());
+    switch (message.type) {
+      case MessageType::kInterest:
+        kind = TraceEventKind::kInterestSent;
+        break;
+      case MessageType::kExploratoryData:
+        kind = TraceEventKind::kExploratoryForward;
+        break;
+      case MessageType::kData:
+        kind = TraceEventKind::kDataForward;
+        break;
+      case MessageType::kPositiveReinforcement:
+        kind = TraceEventKind::kReinforcementSent;
+        value = 1;
+        break;
+      case MessageType::kNegativeReinforcement:
+        kind = TraceEventKind::kReinforcementSent;
+        value = -1;
+        break;
+    }
+    sim_->Trace(TraceEvent{sim_->now(), kind, id_, message.next_hop, message.PacketId(), value});
+  }
   radio_.SendMessage(message.next_hop, std::move(bytes));
 }
 
@@ -610,6 +726,10 @@ void DiffusionNode::DeliverLocalData(const Message& message) {
   }
   if (delivered) {
     ++stats_.data_delivered_local;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kDataDelivered, id_, message.last_hop,
+                             message.PacketId(), message.type == MessageType::kExploratoryData});
+    }
   }
 }
 

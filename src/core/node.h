@@ -143,6 +143,12 @@ class DiffusionNode {
   const DiffusionConfig& config() const { return config_; }
   std::vector<NodeId> Neighbors() const;
 
+  // Registers this node's named counters/gauges — diffusion core
+  // ("diffusion.*"), radio and MAC ("radio.*", "mac.*"), gradient table, and
+  // the §6.1 energy model ("energy.relative") — into `registry`. The node
+  // must outlive collections from the registry.
+  void RegisterMetrics(MetricsRegistry* registry);
+
   // Node failure injection.
   void Kill();
   void Revive();

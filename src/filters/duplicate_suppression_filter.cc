@@ -29,6 +29,11 @@ void DuplicateSuppressionFilter::Run(Message& message, FilterApi& api) {
     // A concurrent detection of the same event already went through this
     // node; suppress by simply not propagating (§5.1).
     ++suppressed_;
+    Simulator& sim = node_->simulator();
+    if (sim.tracing()) {
+      sim.Trace(TraceEvent{sim.now(), TraceEventKind::kFilterSuppressed, node_->id(),
+                           message.last_hop, message.PacketId(), *value});
+    }
     return;
   }
   seen_.insert(*value);
@@ -39,6 +44,13 @@ void DuplicateSuppressionFilter::Run(Message& message, FilterApi& api) {
   }
   ++passed_;
   api.SendMessage(std::move(message), handle_);
+}
+
+void DuplicateSuppressionFilter::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter(node_->id(), "filter.passed",
+                            [this] { return static_cast<double>(passed_); });
+  registry->RegisterCounter(node_->id(), "filter.suppressed",
+                            [this] { return static_cast<double>(suppressed_); });
 }
 
 }  // namespace diffusion

@@ -35,6 +35,10 @@ class DuplicateSuppressionFilter {
   uint64_t passed() const { return passed_; }
   uint64_t suppressed() const { return suppressed_; }
 
+  // Registers "filter.passed" / "filter.suppressed" counters for the host
+  // node's id. The filter must outlive collections from `registry`.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   void Run(Message& message, FilterApi& api);
 

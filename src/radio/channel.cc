@@ -13,7 +13,31 @@ void Channel::Attach(ChannelEndpoint* endpoint) { endpoints_[endpoint->node_id()
 
 void Channel::Detach(NodeId node) {
   endpoints_.erase(node);
-  ongoing_.erase(node);
+  // Cancel (rather than erase) the node's receptions inside still-active
+  // transmissions: other receivers' ongoing_ entries index into the same
+  // reception vectors, so positions must stay stable.
+  auto it = ongoing_.find(node);
+  if (it != ongoing_.end()) {
+    for (const auto& [tx_id, index] : it->second) {
+      active_[tx_id].receptions[index].cancelled = true;
+    }
+    ongoing_.erase(it);
+  }
+}
+
+void Channel::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterGlobalCounter("channel.transmissions",
+                                  [this] { return static_cast<double>(stats_.transmissions); });
+  registry->RegisterGlobalCounter("channel.receptions_attempted", [this] {
+    return static_cast<double>(stats_.receptions_attempted);
+  });
+  registry->RegisterGlobalCounter("channel.collisions",
+                                  [this] { return static_cast<double>(stats_.collisions); });
+  registry->RegisterGlobalCounter("channel.propagation_losses", [this] {
+    return static_cast<double>(stats_.propagation_losses);
+  });
+  registry->RegisterGlobalCounter("channel.deliveries",
+                                  [this] { return static_cast<double>(stats_.deliveries); });
 }
 
 bool Channel::CarrierBusyAt(NodeId node) const {
@@ -75,8 +99,15 @@ void Channel::FinishTransmit(uint64_t tx_id) {
   ActiveTx tx = std::move(it->second);
   active_.erase(it);
 
+  const uint64_t link_packet =
+      (static_cast<uint64_t>(tx.fragment.src) << 32) | tx.fragment.message_seq;
   for (size_t i = 0; i < tx.receptions.size(); ++i) {
     const Reception& reception = tx.receptions[i];
+    if (reception.cancelled) {
+      // The receiver detached mid-flight; Detach already dropped its
+      // ongoing_ entry and the reception resolves to nothing.
+      continue;
+    }
     // Unregister this reception from the receiver's in-air list.
     auto in_air_it = ongoing_.find(reception.receiver);
     if (in_air_it != ongoing_.end()) {
@@ -98,12 +129,20 @@ void Channel::FinishTransmit(uint64_t tx_id) {
     }
     if (reception.corrupted) {
       ++stats_.collisions;
+      if (sim_->tracing()) {
+        sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kCollision, reception.receiver,
+                               tx.sender, link_packet, 0});
+      }
       continue;
     }
     const double probability =
         propagation_->DeliveryProbability(tx.sender, reception.receiver, tx.start);
     if (!rng_.NextBool(probability)) {
       ++stats_.propagation_losses;
+      if (sim_->tracing()) {
+        sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kPropagationLoss, reception.receiver,
+                               tx.sender, link_packet, 0});
+      }
       continue;
     }
     ++stats_.deliveries;

@@ -17,6 +17,7 @@
 #include "src/radio/position.h"
 #include "src/radio/propagation.h"
 #include "src/sim/simulator.h"
+#include "src/trace/metrics.h"
 
 namespace diffusion {
 
@@ -48,6 +49,11 @@ class Channel {
   Channel(Simulator* sim, std::unique_ptr<PropagationModel> propagation);
 
   void Attach(ChannelEndpoint* endpoint);
+
+  // Detaches `node` and scrubs its in-flight receptions: transmissions still
+  // on the air stop targeting it, so a node detached mid-flight neither
+  // receives the frame nor counts toward collision/loss statistics — even if
+  // a new endpoint re-attaches under the same id before they resolve.
   void Detach(NodeId node);
 
   // True if any in-flight transmission puts energy at `node` (including the
@@ -62,10 +68,17 @@ class Channel {
   const ChannelStats& stats() const { return stats_; }
   Simulator& simulator() { return *sim_; }
 
+  // Registers the channel-wide counters as global metrics ("channel.*").
+  // The channel must outlive collections from `registry`.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   struct Reception {
     NodeId receiver;
     bool corrupted;
+    // Set when the receiver detached mid-flight: the reception resolves to
+    // nothing (no delivery, no stats).
+    bool cancelled = false;
   };
   struct ActiveTx {
     NodeId sender;

@@ -36,6 +36,11 @@ SimDuration CsmaMac::FrameAirtime(size_t fragment_bytes) const {
 bool CsmaMac::Enqueue(Fragment fragment) {
   if (queue_.size() >= config_.queue_limit) {
     ++stats_.drops_queue_full;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{
+          sim_->now(), TraceEventKind::kMacDrop, endpoint_->node_id(), kBroadcastId,
+          (static_cast<uint64_t>(fragment.src) << 32) | fragment.message_seq, /*queue full=*/0});
+    }
     return false;
   }
   queue_.push_back(std::move(fragment));
@@ -74,6 +79,10 @@ void CsmaMac::Attempt() {
                                              ? window_start + config_.duty_period
                                              : now,
                                          config_);
+      if (sim_->tracing()) {
+        sim_->Trace(TraceEvent{now, TraceEventKind::kEnergyState, endpoint_->node_id(),
+                               kBroadcastId, 0, /*tx deferred to wake=*/2});
+      }
       // Contend at the window start with a fresh jitter so all deferred
       // senders don't collide at the window boundary.
       ScheduleAttempt(next - now + rng_.NextInt(0, std::max<SimDuration>(config_.initial_jitter, 1)));
@@ -85,6 +94,12 @@ void CsmaMac::Attempt() {
     if (attempts_ >= config_.max_attempts) {
       // The channel never cleared; give up on this frame (no ARQ).
       ++stats_.drops_channel_busy;
+      if (sim_->tracing()) {
+        const Fragment& dropped = queue_.front();
+        sim_->Trace(TraceEvent{
+            sim_->now(), TraceEventKind::kMacDrop, endpoint_->node_id(), kBroadcastId,
+            (static_cast<uint64_t>(dropped.src) << 32) | dropped.message_seq, /*busy=*/1});
+      }
       queue_.pop_front();
       attempts_ = 0;
       if (queue_.empty()) {
@@ -106,6 +121,12 @@ void CsmaMac::Attempt() {
   ++stats_.frames_sent;
   stats_.bytes_sent += fragment.WireSize() + config_.frame_overhead_bytes;
   stats_.time_sending += airtime;
+  if (sim_->tracing()) {
+    sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kFragmentTx, endpoint_->node_id(),
+                           fragment.dst,
+                           (static_cast<uint64_t>(fragment.src) << 32) | fragment.message_seq,
+                           static_cast<int64_t>(fragment.WireSize())});
+  }
   channel_->Transmit(endpoint_->node_id(), std::move(fragment), airtime);
   sim_->After(airtime, [this] { FinishTransmit(); });
 }

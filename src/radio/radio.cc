@@ -36,9 +36,49 @@ bool Radio::SendMessage(NodeId dst, std::vector<uint8_t> payload) {
 void Radio::Kill() {
   alive_ = false;
   mac_.Reset();
+  if (sim_->tracing()) {
+    sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kEnergyState, id_, kBroadcastId, 0,
+                           /*killed=*/0});
+  }
 }
 
-void Radio::Revive() { alive_ = true; }
+void Radio::Revive() {
+  alive_ = true;
+  if (sim_->tracing()) {
+    sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kEnergyState, id_, kBroadcastId, 0,
+                           /*revived=*/1});
+  }
+}
+
+void Radio::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter(id_, "radio.messages_sent",
+                            [this] { return static_cast<double>(stats_.messages_sent); });
+  registry->RegisterCounter(id_, "radio.message_bytes_sent",
+                            [this] { return static_cast<double>(stats_.message_bytes_sent); });
+  registry->RegisterCounter(id_, "radio.messages_received",
+                            [this] { return static_cast<double>(stats_.messages_received); });
+  registry->RegisterCounter(id_, "radio.fragments_sent",
+                            [this] { return static_cast<double>(stats_.fragments_sent); });
+  registry->RegisterCounter(id_, "radio.fragments_received",
+                            [this] { return static_cast<double>(stats_.fragments_received); });
+  registry->RegisterCounter(id_, "radio.fragments_dropped",
+                            [this] { return static_cast<double>(stats_.fragments_dropped); });
+  registry->RegisterGauge(id_, "radio.time_receiving_s", [this] {
+    return DurationToSeconds(stats_.time_receiving);
+  });
+  registry->RegisterGauge(id_, "radio.time_sending_s",
+                          [this] { return DurationToSeconds(time_sending()); });
+  registry->RegisterCounter(id_, "mac.frames_sent",
+                            [this] { return static_cast<double>(mac_.stats().frames_sent); });
+  registry->RegisterCounter(id_, "mac.bytes_sent",
+                            [this] { return static_cast<double>(mac_.stats().bytes_sent); });
+  registry->RegisterCounter(id_, "mac.drops_queue_full", [this] {
+    return static_cast<double>(mac_.stats().drops_queue_full);
+  });
+  registry->RegisterCounter(id_, "mac.drops_channel_busy", [this] {
+    return static_cast<double>(mac_.stats().drops_channel_busy);
+  });
+}
 
 void Radio::OnFrameDelivered(const Fragment& fragment, SimDuration airtime) {
   if (!alive_) {
@@ -51,6 +91,11 @@ void Radio::OnFrameDelivered(const Fragment& fragment, SimDuration airtime) {
     return;
   }
   ++stats_.fragments_received;
+  if (sim_->tracing()) {
+    sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kFragmentRx, id_, fragment.src,
+                           (static_cast<uint64_t>(fragment.src) << 32) | fragment.message_seq,
+                           static_cast<int64_t>(fragment.index)});
+  }
   std::optional<Reassembler::Completed> completed = reassembler_.Add(fragment, sim_->now());
   if (!completed.has_value()) {
     return;

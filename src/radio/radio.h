@@ -67,6 +67,10 @@ class Radio : public ChannelEndpoint {
   const MacStats& mac_stats() const { return mac_.stats(); }
   SimDuration time_sending() const { return mac_.stats().time_sending; }
 
+  // Registers this radio's counters/gauges ("radio.*", "mac.*") for its node
+  // id. The radio must outlive collections from `registry`.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
   // Fraction of time this radio's receiver is powered (its MAC duty cycle).
   double awake_fraction() const { return config_.mac.duty_cycle; }
 

@@ -7,7 +7,8 @@ namespace diffusion {
 
 EventId EventScheduler::ScheduleAt(SimTime when, std::function<void()> callback) {
   const EventId id = next_id_++;
-  queue_.push(Entry{std::max(when, now_), next_sequence_++, id, std::move(callback)});
+  queue_.push_back(Entry{std::max(when, now_), next_sequence_++, id, std::move(callback)});
+  std::push_heap(queue_.begin(), queue_.end(), EntryLater{});
   live_.insert(id);
   return id;
 }
@@ -16,11 +17,30 @@ EventId EventScheduler::ScheduleAfter(SimDuration delay, std::function<void()> c
   return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(callback));
 }
 
-bool EventScheduler::Cancel(EventId id) { return live_.erase(id) > 0; }
+bool EventScheduler::Cancel(EventId id) {
+  if (live_.erase(id) == 0) {
+    return false;
+  }
+  // Lazy compaction: once dead entries dominate, rebuild the heap without
+  // them so cancelled closures (and whatever they capture) are released
+  // promptly instead of lingering until their time would have come.
+  if (queue_.size() > 16 && live_.size() * 2 < queue_.size()) {
+    Compact();
+  }
+  return true;
+}
+
+void EventScheduler::Compact() {
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [this](const Entry& entry) { return live_.count(entry.id) == 0; }),
+               queue_.end());
+  std::make_heap(queue_.begin(), queue_.end(), EntryLater{});
+}
 
 void EventScheduler::SkipDead() {
-  while (!queue_.empty() && live_.count(queue_.top().id) == 0) {
-    queue_.pop();
+  while (!queue_.empty() && live_.count(queue_.front().id) == 0) {
+    std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
+    queue_.pop_back();
   }
 }
 
@@ -29,8 +49,9 @@ bool EventScheduler::RunOne() {
   if (queue_.empty()) {
     return false;
   }
-  Entry entry = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
+  Entry entry = std::move(queue_.back());
+  queue_.pop_back();
   live_.erase(entry.id);
   now_ = entry.when;
   entry.callback();
@@ -41,7 +62,7 @@ size_t EventScheduler::RunUntil(SimTime end) {
   size_t run = 0;
   for (;;) {
     SkipDead();
-    if (queue_.empty() || queue_.top().when > end) {
+    if (queue_.empty() || queue_.front().when > end) {
       break;
     }
     RunOne();

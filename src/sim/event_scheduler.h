@@ -4,14 +4,16 @@
 // broken by insertion order so that runs are fully deterministic. Events may
 // be cancelled through the handle returned at scheduling time; cancellation
 // is lazy (cancelled entries are skipped when popped), which keeps both
-// operations O(log n).
+// operations O(log n). When dead entries outnumber live ones the heap is
+// rebuilt without them, so a workload that cancels many far-future events
+// (interest refreshes, reassembly timeouts) keeps both the queue and the
+// cancelled callbacks' captured state bounded by the live event count.
 
 #ifndef SRC_SIM_EVENT_SCHEDULER_H_
 #define SRC_SIM_EVENT_SCHEDULER_H_
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -54,6 +56,10 @@ class EventScheduler {
   // Number of pending (non-cancelled) events.
   size_t pending() const { return live_.size(); }
 
+  // Number of heap entries, including not-yet-compacted cancelled ones.
+  // Bounded at 2*pending() + O(1) by lazy compaction.
+  size_t queue_size() const { return queue_.size(); }
+
  private:
   struct Entry {
     SimTime when;
@@ -73,10 +79,14 @@ class EventScheduler {
   // Pops cancelled entries off the head of the queue.
   void SkipDead();
 
+  // Rebuilds the heap without cancelled entries, releasing their callbacks.
+  void Compact();
+
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  // Max-heap by EntryLater (earliest event at the front via std::*_heap).
+  std::vector<Entry> queue_;
   std::unordered_set<EventId> live_;
 };
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "src/sim/event_scheduler.h"
+#include "src/trace/trace.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
@@ -39,9 +40,24 @@ class Simulator {
   size_t RunUntil(SimTime end) { return scheduler_.RunUntil(end); }
   size_t RunAll() { return scheduler_.RunAll(); }
 
+  // ---- flight-recorder tracing (src/trace) ----
+  //
+  // Null (the default) disables tracing. Emit sites guard on tracing()
+  // before constructing an event, so a disabled run pays one pointer test.
+  // The sink is borrowed and must outlive every event emitted into it.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+  TraceSink* trace_sink() const { return trace_sink_; }
+  bool tracing() const { return trace_sink_ != nullptr; }
+  void Trace(const TraceEvent& event) {
+    if (trace_sink_ != nullptr) {
+      trace_sink_->OnEvent(event);
+    }
+  }
+
  private:
   EventScheduler scheduler_;
   Rng rng_;
+  TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace diffusion

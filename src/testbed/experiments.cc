@@ -1,6 +1,7 @@
 #include "src/testbed/experiments.h"
 
 #include <algorithm>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
@@ -14,6 +15,7 @@
 #include "src/radio/energy.h"
 #include "src/radio/shadowing.h"
 #include "src/testbed/topology.h"
+#include "src/trace/trace_writer.h"
 
 namespace diffusion {
 namespace {
@@ -59,7 +61,21 @@ double MeasuredEnergy(const std::map<NodeId, std::unique_ptr<DiffusionNode>>& no
 }  // namespace
 
 Fig8Result RunFig8(const Fig8Params& params) {
+  // The writer outlives the simulator (declared first) so events emitted
+  // during teardown still have a live sink.
+  std::unique_ptr<TraceWriter> trace_writer;
+  if (!params.trace_out.empty()) {
+    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
+    if (!trace_writer->ok()) {
+      std::cerr << "warning: cannot open trace file " << params.trace_out
+                << "; tracing disabled for this run\n";
+      trace_writer.reset();
+    }
+  }
   Simulator sim(params.seed);
+  if (trace_writer != nullptr) {
+    sim.set_trace_sink(trace_writer.get());
+  }
   const TestbedLayout layout = IsiTestbedLayout();
   std::unique_ptr<PropagationModel> propagation;
   if (params.shadowing) {
@@ -164,7 +180,19 @@ Fig8Result RunFig8(const Fig8Params& params) {
 }
 
 Fig9Result RunFig9(const Fig9Params& params) {
+  std::unique_ptr<TraceWriter> trace_writer;
+  if (!params.trace_out.empty()) {
+    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
+    if (!trace_writer->ok()) {
+      std::cerr << "warning: cannot open trace file " << params.trace_out
+                << "; tracing disabled for this run\n";
+      trace_writer.reset();
+    }
+  }
   Simulator sim(params.seed);
+  if (trace_writer != nullptr) {
+    sim.set_trace_sink(trace_writer.get());
+  }
   const TestbedLayout layout = IsiTestbedLayout();
   Channel channel(&sim, MakePropagation(layout, params.link_delivery));
 
@@ -238,7 +266,19 @@ Fig9Result RunFig9(const Fig9Params& params) {
 }
 
 ScaleResult RunScaleExperiment(const ScaleParams& params) {
+  std::unique_ptr<TraceWriter> trace_writer;
+  if (!params.trace_out.empty()) {
+    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
+    if (!trace_writer->ok()) {
+      std::cerr << "warning: cannot open trace file " << params.trace_out
+                << "; tracing disabled for this run\n";
+      trace_writer.reset();
+    }
+  }
   Simulator sim(params.seed);
+  if (trace_writer != nullptr) {
+    sim.set_trace_sink(trace_writer.get());
+  }
 
   // Draw random layouts until connected.
   TestbedLayout layout;

@@ -10,6 +10,7 @@
 #define SRC_TESTBED_EXPERIMENTS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/apps/nested_query.h"
 #include "src/util/time.h"
@@ -49,6 +50,9 @@ struct Fig8Params {
   // pathologies).
   bool shadowing = false;
   double shadowing_sigma_db = 4.0;
+  // When non-empty, stream every TraceEvent of the run to this JSONL file
+  // (the flight recorder; costs nothing when empty).
+  std::string trace_out;
 };
 
 struct Fig8Result {
@@ -76,6 +80,8 @@ struct Fig9Params {
   SimDuration warmup = 60 * kSecond;
   uint64_t seed = 1;
   double link_delivery = 0.98;
+  // When non-empty, stream every TraceEvent of the run to this JSONL file.
+  std::string trace_out;
 };
 
 struct Fig9Result {
@@ -106,6 +112,8 @@ struct ScaleParams {
   uint64_t seed = 1;
   double field_size = 100.0;
   double radio_range = 22.0;
+  // When non-empty, stream every TraceEvent of the run to this JSONL file.
+  std::string trace_out;
 };
 
 struct ScaleResult {

@@ -6,6 +6,17 @@
 
 namespace diffusion {
 
+NetworkMonitor::NetworkMonitor(Channel* channel) : channel_(channel) {
+  channel_->RegisterMetrics(&metrics_);
+}
+
+NetworkMonitor::~NetworkMonitor() { StopSampling(); }
+
+void NetworkMonitor::Track(DiffusionNode* node) {
+  nodes_.push_back(node);
+  node->RegisterMetrics(&metrics_);
+}
+
 NetworkMonitor::Snapshot NetworkMonitor::TakeSnapshot() const {
   Snapshot snapshot;
   snapshot.when = channel_->simulator().now();
@@ -78,6 +89,68 @@ std::string NetworkMonitor::NodeReport(const Snapshot& begin, double duty_cycle)
                   static_cast<unsigned long long>(node->stats().bytes_sent),
                   shares.send * 100.0, shares.receive * 100.0, shares.listen * 100.0, energy);
     out << line;
+  }
+  return out.str();
+}
+
+std::vector<NetworkMonitor::NodeSnapshot> NetworkMonitor::TakeNodeSnapshots() const {
+  const SimTime now = channel_->simulator().now();
+  std::vector<NodeSnapshot> snapshots;
+  snapshots.reserve(nodes_.size());
+  for (const DiffusionNode* node : nodes_) {
+    NodeSnapshot snapshot;
+    snapshot.when = now;
+    snapshot.node = node->id();
+    snapshot.metrics = metrics_.Collect(node->id());
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
+}
+
+void NetworkMonitor::StartSampling(SimDuration period) {
+  StopSampling();
+  if (period <= 0) {
+    return;
+  }
+  sample_period_ = period;
+  Simulator& sim = channel_->simulator();
+  sample_event_ = sim.After(period, [this] {
+    sample_event_ = kInvalidEventId;
+    for (NodeSnapshot& snapshot : TakeNodeSnapshots()) {
+      series_.push_back(std::move(snapshot));
+    }
+    StartSampling(sample_period_);
+  });
+}
+
+void NetworkMonitor::StopSampling() {
+  if (sample_event_ != kInvalidEventId) {
+    channel_->simulator().Cancel(sample_event_);
+    sample_event_ = kInvalidEventId;
+  }
+}
+
+std::vector<TraceEvent> NetworkMonitor::PacketTrace(uint64_t packet) const {
+  if (trace_buffer_ == nullptr) {
+    return {};
+  }
+  return trace_buffer_->EventsForPacket(packet);
+}
+
+std::string NetworkMonitor::PacketTraceReport(uint64_t packet) const {
+  const std::vector<TraceEvent> events = PacketTrace(packet);
+  std::ostringstream out;
+  out << "packet " << (packet >> 32) << "/" << (packet & 0xffffffffu) << ": " << events.size()
+      << " events\n";
+  char line[160];
+  for (const TraceEvent& event : events) {
+    std::snprintf(line, sizeof(line), "  t=%-12.6f node %-4u %-28s", DurationToSeconds(event.when),
+                  event.node, TraceEventKindName(event.kind));
+    out << line;
+    if (event.peer != kBroadcastId) {
+      out << " peer " << event.peer;
+    }
+    out << " value " << event.value << "\n";
   }
   return out.str();
 }

@@ -10,22 +10,29 @@
 #ifndef SRC_TESTBED_MONITOR_H_
 #define SRC_TESTBED_MONITOR_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/node.h"
 #include "src/radio/channel.h"
 #include "src/radio/energy.h"
+#include "src/trace/metrics.h"
+#include "src/trace/trace.h"
 
 namespace diffusion {
 
 class NetworkMonitor {
  public:
-  explicit NetworkMonitor(Channel* channel) : channel_(channel) {}
+  explicit NetworkMonitor(Channel* channel);
+  ~NetworkMonitor();
+
+  NetworkMonitor(const NetworkMonitor&) = delete;
+  NetworkMonitor& operator=(const NetworkMonitor&) = delete;
 
   // Registers a node for monitoring (borrowed; must outlive the monitor's
-  // report calls).
-  void Track(DiffusionNode* node) { nodes_.push_back(node); }
+  // report calls) and registers its named metrics into metrics().
+  void Track(DiffusionNode* node);
 
   // Aggregate counters at a point in time.
   struct Snapshot {
@@ -54,9 +61,50 @@ class NetworkMonitor {
   // the §6.1 energy model evaluated at `duty_cycle`.
   std::string NodeReport(const Snapshot& begin, double duty_cycle = 1.0) const;
 
+  // ---- per-node metrics time series ----
+
+  // One node's named metrics at a point in time.
+  struct NodeSnapshot {
+    SimTime when = 0;
+    NodeId node = kBroadcastId;
+    std::map<std::string, double> metrics;
+  };
+
+  // Reads every tracked node's registered metrics right now.
+  std::vector<NodeSnapshot> TakeNodeSnapshots() const;
+
+  // Samples TakeNodeSnapshots() into series() every `period` of sim time
+  // (first sample after one period). StopSampling cancels; so does the
+  // destructor.
+  void StartSampling(SimDuration period);
+  void StopSampling();
+  const std::vector<NodeSnapshot>& series() const { return series_; }
+
+  // The registry nodes and the channel publish into. Callers may register
+  // additional sources (e.g. filters) under the same node ids.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // ---- packet trace queries ----
+
+  // Points the monitor at an in-memory flight recorder (borrowed). Usually
+  // the same sink installed on the simulator, or one leg of a TeeTraceSink.
+  void AttachTraceBuffer(const MemoryTraceSink* buffer) { trace_buffer_ = buffer; }
+
+  // Every recorded event touching diffusion packet id `packet`, in time
+  // order. Empty when no buffer is attached.
+  std::vector<TraceEvent> PacketTrace(uint64_t packet) const;
+
+  // Human-readable hop-by-hop rendering of PacketTrace(packet).
+  std::string PacketTraceReport(uint64_t packet) const;
+
  private:
   Channel* channel_;
   std::vector<DiffusionNode*> nodes_;
+  MetricsRegistry metrics_;
+  const MemoryTraceSink* trace_buffer_ = nullptr;
+  std::vector<NodeSnapshot> series_;
+  SimDuration sample_period_ = 0;
+  EventId sample_event_ = kInvalidEventId;
 };
 
 }  // namespace diffusion

@@ -1,0 +1,42 @@
+#include "src/trace/metrics.h"
+
+namespace diffusion {
+
+std::map<std::string, double> MetricsRegistry::Collect(NodeId node) const {
+  std::map<std::string, double> values;
+  auto it = per_node_.find(node);
+  if (it == per_node_.end()) {
+    return values;
+  }
+  for (const Metric& metric : it->second) {
+    values[metric.name] = metric.source();
+  }
+  return values;
+}
+
+std::map<std::string, double> MetricsRegistry::CollectGlobal() const {
+  std::map<std::string, double> values;
+  for (const Metric& metric : global_) {
+    values[metric.name] = metric.source();
+  }
+  return values;
+}
+
+std::vector<NodeId> MetricsRegistry::nodes() const {
+  std::vector<NodeId> ids;
+  ids.reserve(per_node_.size());
+  for (const auto& [node, metrics] : per_node_) {
+    ids.push_back(node);
+  }
+  return ids;
+}
+
+size_t MetricsRegistry::size() const {
+  size_t total = global_.size();
+  for (const auto& [node, metrics] : per_node_) {
+    total += metrics.size();
+  }
+  return total;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,74 @@
+// Per-node metrics registry.
+//
+// Components keep their hot-path accounting in plain structs (zero overhead
+// per increment) and register named read-out lambdas here once, at attach
+// time. The registry then gives the monitor and exporters one uniform view:
+// every counter and gauge of every node, by name, collected on demand —
+// instead of the monitor hand-walking each component's private stats struct.
+//
+// Counters are monotonically increasing over a run (deltas between snapshots
+// are meaningful); gauges may move both ways (queue depths, energy rates).
+
+#ifndef SRC_TRACE_METRICS_H_
+#define SRC_TRACE_METRICS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/radio/position.h"
+
+namespace diffusion {
+
+class MetricsRegistry {
+ public:
+  // Reads the current value of one metric. Sources are invoked only at
+  // collection time; the component they read from must outlive them (or the
+  // node must be unregistered first).
+  using Source = std::function<double()>;
+
+  void RegisterCounter(NodeId node, const std::string& name, Source source) {
+    per_node_[node].push_back(Metric{name, /*counter=*/true, std::move(source)});
+  }
+  void RegisterGauge(NodeId node, const std::string& name, Source source) {
+    per_node_[node].push_back(Metric{name, /*counter=*/false, std::move(source)});
+  }
+
+  // Network-wide metrics not owned by one node (e.g. the shared channel).
+  void RegisterGlobalCounter(const std::string& name, Source source) {
+    global_.push_back(Metric{name, /*counter=*/true, std::move(source)});
+  }
+  void RegisterGlobalGauge(const std::string& name, Source source) {
+    global_.push_back(Metric{name, /*counter=*/false, std::move(source)});
+  }
+
+  // Drops every metric registered for `node` (component teardown).
+  void UnregisterNode(NodeId node) { per_node_.erase(node); }
+
+  // Current name -> value for one node. Unknown nodes collect empty.
+  std::map<std::string, double> Collect(NodeId node) const;
+
+  // Current name -> value for the global (network-wide) metrics.
+  std::map<std::string, double> CollectGlobal() const;
+
+  // Nodes with at least one registered metric, ascending.
+  std::vector<NodeId> nodes() const;
+
+  // Total registered metrics across all nodes plus globals.
+  size_t size() const;
+
+ private:
+  struct Metric {
+    std::string name;
+    bool counter;
+    Source source;
+  };
+
+  std::map<NodeId, std::vector<Metric>> per_node_;
+  std::vector<Metric> global_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_TRACE_METRICS_H_

@@ -100,6 +100,31 @@ TEST(DataCacheTest, EvictsFifoAtCapacity) {
   EXPECT_FALSE(cache.CheckAndInsert(1));  // 1 may be reinserted
 }
 
+TEST(DataCacheTest, SetAndOrderStayInLockStep) {
+  // Regression: evict-then-reinsert churn could desync the membership set
+  // from the FIFO order (a stale order record evicting a live re-inserted
+  // id), inflating duplicate counts. The tick-stamped eviction keeps both
+  // structures the same size with matching records.
+  DataCache cache(4);
+  // Heavy churn: reinsert evicted ids, interleave fresh ones, duplicate hits.
+  for (uint64_t round = 0; round < 200; ++round) {
+    cache.CheckAndInsert(round % 7);        // cycles through eviction
+    cache.CheckAndInsert(1000 + round);     // always fresh
+    cache.CheckAndInsert(round % 3);        // frequent duplicates + reinserts
+    ASSERT_EQ(cache.size(), cache.order_size()) << "round " << round;
+    ASSERT_TRUE(cache.ConsistencyCheck()) << "round " << round;
+    ASSERT_LE(cache.size(), cache.capacity() + 1);
+  }
+  // A re-inserted id survives the eviction of its stale epoch.
+  DataCache small(2);
+  EXPECT_FALSE(small.CheckAndInsert(1));
+  EXPECT_FALSE(small.CheckAndInsert(2));
+  EXPECT_FALSE(small.CheckAndInsert(3));  // evicts 1
+  EXPECT_FALSE(small.CheckAndInsert(1));  // re-inserted
+  EXPECT_TRUE(small.CheckAndInsert(1));   // still present: a duplicate
+  EXPECT_TRUE(small.ConsistencyCheck());
+}
+
 // ---- GradientTable ----
 
 TEST(GradientTableTest, ExactMatchLookup) {

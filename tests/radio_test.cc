@@ -331,6 +331,98 @@ TEST(RadioTest, DeadRadioNeitherSendsNorReceives) {
   EXPECT_EQ(received, 1);
 }
 
+namespace {
+
+// Bare channel endpoint for driving Channel::Transmit directly.
+class RecordingEndpoint : public ChannelEndpoint {
+ public:
+  explicit RecordingEndpoint(NodeId id, bool transmitting = false)
+      : id_(id), transmitting_(transmitting) {}
+
+  NodeId node_id() const override { return id_; }
+  bool IsAlive() const override { return true; }
+  bool IsTransmitting() const override { return transmitting_; }
+  void OnFrameDelivered(const Fragment& fragment, SimDuration airtime) override {
+    (void)fragment;
+    (void)airtime;
+    ++delivered_;
+  }
+
+  int delivered() const { return delivered_; }
+
+ private:
+  NodeId id_;
+  bool transmitting_;
+  int delivered_ = 0;
+};
+
+}  // namespace
+
+TEST(ChannelTest, DetachMidFlightScrubsReceptions) {
+  // Regression: Detach only removed the endpoint, leaving the node's
+  // Reception records inside other senders' in-flight transmissions. When a
+  // new endpoint re-attached under the same id before those resolved, the
+  // stale records delivered frames to it and — with two overlapping
+  // transmissions — charged it phantom collisions.
+  Simulator sim(11);
+  auto channel = MakeCliqueChannel(&sim, 3);
+  RecordingEndpoint tx_a(1, /*transmitting=*/true);
+  RecordingEndpoint tx_b(2, /*transmitting=*/true);
+  RecordingEndpoint receiver(3);
+  channel->Attach(&tx_a);
+  channel->Attach(&tx_b);
+  channel->Attach(&receiver);
+
+  // Two transmissions overlap at node 3 for their whole duration.
+  Fragment frame_a;
+  frame_a.src = 1;
+  frame_a.payload.assign(20, 0xaa);
+  Fragment frame_b;
+  frame_b.src = 2;
+  frame_b.payload.assign(20, 0xbb);
+  sim.After(0, [&] { channel->Transmit(1, frame_a, 10 * kMillisecond); });
+  sim.After(kMillisecond, [&] { channel->Transmit(2, frame_b, 10 * kMillisecond); });
+
+  // Node 3 detaches mid-flight and re-attaches (fresh endpoint, same id)
+  // before either transmission ends.
+  RecordingEndpoint reborn(3);
+  sim.After(2 * kMillisecond, [&] {
+    channel->Detach(3);
+    channel->Attach(&reborn);
+  });
+  sim.RunUntil(kSecond);
+
+  // The scrubbed receptions resolve to nothing: no delivery to either
+  // endpoint, and no collision charged for frames the node was not attached
+  // to hear. (Senders 1 and 2 still collide with each other's frames.)
+  EXPECT_EQ(receiver.delivered(), 0);
+  EXPECT_EQ(reborn.delivered(), 0);
+  EXPECT_EQ(channel->stats().collisions, 2u);  // only at nodes 1 and 2
+  EXPECT_EQ(channel->stats().deliveries, 0u);
+}
+
+TEST(ChannelTest, DetachedReceiverStopsMidFlightCleanly) {
+  // Detach without re-attach: the in-flight reception simply vanishes.
+  Simulator sim(12);
+  auto channel = MakeLineChannel(&sim, 2);
+  RecordingEndpoint sender(1);
+  RecordingEndpoint receiver(2);
+  channel->Attach(&sender);
+  channel->Attach(&receiver);
+
+  Fragment frame;
+  frame.src = 1;
+  frame.payload.assign(20, 0x11);
+  sim.After(0, [&] { channel->Transmit(1, frame, 10 * kMillisecond); });
+  sim.After(5 * kMillisecond, [&] { channel->Detach(2); });
+  sim.RunUntil(kSecond);
+
+  EXPECT_EQ(receiver.delivered(), 0);
+  EXPECT_EQ(channel->stats().collisions, 0u);
+  EXPECT_EQ(channel->stats().propagation_losses, 0u);
+  EXPECT_EQ(channel->stats().deliveries, 0u);
+}
+
 TEST(MacTest, QueueOverflowDrops) {
   Simulator sim(8);
   auto channel = MakeLineChannel(&sim, 2);

@@ -116,6 +116,41 @@ TEST(SchedulerTest, CancelFromInsideCallback) {
   EXPECT_FALSE(second_ran);
 }
 
+TEST(SchedulerTest, CancelCompactsDeadHeapEntries) {
+  // Regression: Cancel used to only drop the id from the live set, leaving
+  // the heap entry (and its captured closure) resident until its deadline was
+  // reached. A workload that endlessly schedules far-future timers and
+  // cancels them (interest refresh, reassembly timeouts) grew the queue
+  // without bound. Compaction keeps the heap within a constant factor of the
+  // live count.
+  EventScheduler scheduler;
+  for (int round = 0; round < 10'000; ++round) {
+    const EventId id = scheduler.ScheduleAt(1'000'000 + round, [] {});
+    EXPECT_TRUE(scheduler.Cancel(id));
+  }
+  EXPECT_EQ(scheduler.pending(), 0u);
+  // Bounded: 2 * live + O(1), not 10'000 dead closures.
+  EXPECT_LE(scheduler.queue_size(), 16u);
+
+  // Interleaved live and cancelled events: live ones still run, in order.
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 1'000; ++i) {
+    scheduler.ScheduleAt(100 + i, [&order, i] { order.push_back(i); });
+    doomed.push_back(scheduler.ScheduleAt(500'000 + i, [&order] { order.push_back(-1); }));
+  }
+  for (EventId id : doomed) {
+    EXPECT_TRUE(scheduler.Cancel(id));
+  }
+  EXPECT_EQ(scheduler.pending(), 1'000u);
+  EXPECT_LE(scheduler.queue_size(), 2u * scheduler.pending() + 16u);
+  scheduler.RunAll();
+  ASSERT_EQ(order.size(), 1'000u);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
 TEST(SimulatorTest, SeedsAreReproducible) {
   Simulator a(99);
   Simulator b(99);
