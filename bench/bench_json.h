@@ -1,0 +1,52 @@
+// Machine-readable benchmark output, shared by the bench binaries and the CI
+// bench-smoke job.
+//
+// Every file carries the "diffusion-bench-v1" schema:
+//
+//   {
+//     "schema": "diffusion-bench-v1",
+//     "bench": "<binary name>",
+//     "results": [
+//       {"name": "<metric>", "unit": "<ns/op|ms|x|...>", "value": <number>},
+//       ...
+//     ]
+//   }
+//
+// ValidateBenchJson is the drift guard: CI and scripts/check.sh run it
+// against both freshly generated output and the checked-in baseline, so a
+// schema change that forgets to bump the version string fails loudly.
+
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace diffusion {
+namespace bench {
+
+inline constexpr char kBenchJsonSchema[] = "diffusion-bench-v1";
+
+struct BenchResult {
+  std::string name;
+  std::string unit;
+  double value = 0.0;
+};
+
+// Renders the schema'd JSON document (two-space indent, trailing newline).
+std::string BenchJson(const std::string& bench_name, const std::vector<BenchResult>& results);
+
+// Writes BenchJson(...) to `path`. Returns false (with perror) on I/O error.
+bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                    const std::vector<BenchResult>& results);
+
+// Structural validation of a bench JSON file: schema string matches
+// kBenchJsonSchema, a non-empty "bench" name is present, and every entry in
+// "results" has a name, a unit, and a finite numeric value. On failure
+// returns false and, when `error` is non-null, stores a one-line diagnosis.
+bool ValidateBenchJson(const std::string& path, std::string* error);
+
+}  // namespace bench
+}  // namespace diffusion
+
+#endif  // BENCH_BENCH_JSON_H_

@@ -1,6 +1,10 @@
 // Figure 11 (google-benchmark form): two-way matching microbenchmark over
 // the Figure-10 attribute sets, swept from 6 to 30 attributes in Set B for
-// all four series. See fig11_matching_table for the paper-style table.
+// all four series. The four paper series run the *Linear reference (the
+// paper's nested-scan algorithm); the _Canonical series repeat the matching
+// sweeps through this PR's merge-scan over canonical AttributeSets. See
+// fig11_matching_table for the paper-style table and bench/matching_hotpath
+// for the dispatch-level comparison.
 
 #include <benchmark/benchmark.h>
 
@@ -34,7 +38,22 @@ void RunMatchBenchmark(benchmark::State& state, SetGrowth growth, bool matching)
   const AttributeVector set_b =
       MakeSetB(static_cast<size_t>(state.range(0)), growth, matching, &rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoWayMatch(set_a, set_b));
+    benchmark::DoNotOptimize(TwoWayMatchLinear(set_a, set_b));
+  }
+  state.counters["attrs_in_b"] = static_cast<double>(state.range(0));
+}
+
+// The same sweep through the canonical merge-scan path (pre-built sets, as
+// the diffusion core holds them). Compare against the *Linear series above.
+void RunMatchBenchmarkCanonical(benchmark::State& state, SetGrowth growth, bool matching) {
+  Rng rng(99);
+  AttributeVector set_a = AnimalInterestSetA();
+  Shuffle(&set_a, &rng);
+  const AttributeSet canonical_a(set_a);
+  const AttributeSet canonical_b(
+      MakeSetB(static_cast<size_t>(state.range(0)), growth, matching, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoWayMatch(canonical_a, canonical_b));
   }
   state.counters["attrs_in_b"] = static_cast<double>(state.range(0));
 }
@@ -52,10 +71,19 @@ void BM_NoMatch_EQ(benchmark::State& state) {
   RunMatchBenchmark(state, SetGrowth::kFormalEq, false);
 }
 
+void BM_Match_IS_Canonical(benchmark::State& state) {
+  RunMatchBenchmarkCanonical(state, SetGrowth::kActualIs, true);
+}
+void BM_Match_EQ_Canonical(benchmark::State& state) {
+  RunMatchBenchmarkCanonical(state, SetGrowth::kFormalEq, true);
+}
+
 BENCHMARK(BM_Match_IS)->DenseRange(6, 30, 6);
 BENCHMARK(BM_Match_EQ)->DenseRange(6, 30, 6);
 BENCHMARK(BM_NoMatch_IS)->DenseRange(6, 30, 6);
 BENCHMARK(BM_NoMatch_EQ)->DenseRange(6, 30, 6);
+BENCHMARK(BM_Match_IS_Canonical)->DenseRange(6, 30, 6);
+BENCHMARK(BM_Match_EQ_Canonical)->DenseRange(6, 30, 6);
 
 // One-way matching and hashing, for context.
 void BM_OneWayMatch(benchmark::State& state) {
@@ -63,7 +91,7 @@ void BM_OneWayMatch(benchmark::State& state) {
   const AttributeVector set_b = GrowSetB(static_cast<size_t>(state.range(0)),
                                          SetGrowth::kActualIs);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(OneWayMatch(set_a, set_b));
+    benchmark::DoNotOptimize(OneWayMatchLinear(set_a, set_b));
   }
 }
 BENCHMARK(BM_OneWayMatch)->DenseRange(6, 30, 12);

@@ -8,9 +8,11 @@
 // node count (floods touch every node, but the reinforced data paths don't),
 // and delivery stays high.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_flags.h"
+#include "bench/bench_json.h"
 #include "src/testbed/experiments.h"
 #include "src/testbed/harness.h"
 
@@ -23,6 +25,9 @@ int Main(int argc, char** argv) {
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 5000));
   // Flight recorder: trace the first (smallest-network) run only.
   const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
+  // Wall-clock per sweep point in diffusion-bench-v1 form — the matching
+  // fast path shows up here as simulator throughput.
+  const std::string bench_json_out = bench::StringFlag(argc, argv, "bench-json");
 
   const size_t node_counts[] = {30, 50, 80, 120};
 
@@ -37,9 +42,11 @@ int Main(int argc, char** argv) {
               "bytes/event/node");
 
   double first_per_node = 0.0;
+  std::vector<bench::BenchResult> wall_clock;
   for (size_t nodes : node_counts) {
     RunningStat bytes;
     RunningStat delivery;
+    const auto wall_start = std::chrono::steady_clock::now();
     for (int run = 0; run < runs; ++run) {
       ScaleParams params;
       params.nodes = nodes;
@@ -53,6 +60,12 @@ int Main(int argc, char** argv) {
       bytes.Add(result.bytes_per_event);
       delivery.Add(result.delivery_rate * 100.0);
     }
+    const double wall_ms =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - wall_start)
+                                .count()) /
+        static_cast<double>(runs);
+    wall_clock.push_back({"wall_clock_" + std::to_string(nodes) + "_nodes", "ms/run", wall_ms});
     const double per_node = bytes.mean() / static_cast<double>(nodes);
     if (first_per_node == 0.0) {
       first_per_node = per_node;
@@ -62,6 +75,12 @@ int Main(int argc, char** argv) {
   }
   std::printf("\nShape to check: per-node cost roughly flat or falling as the network grows\n");
   std::printf("(flood cost is linear in nodes, data-path cost is linear in hops only).\n");
+  if (!bench_json_out.empty()) {
+    if (!bench::WriteBenchJson(bench_json_out, "scaling_sweep", wall_clock)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", bench_json_out.c_str());
+  }
   return 0;
 }
 

@@ -77,8 +77,8 @@ class ProxySensor {
     };
     node_->AddFilter(std::move(watch), 10, [this](Message& message, FilterApi& api) {
       const bool is_interest = message.type == MessageType::kInterest;
-      const AttributeVector attrs = message.attrs;
-      api.SendMessage(std::move(message), kInvalidHandle);
+      const AttributeVector attrs = message.attrs.items();
+      api.SendMessageToNext(std::move(message));
       if (is_interest) {
         OnProgrammedInterest(attrs);
       }

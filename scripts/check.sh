@@ -23,4 +23,9 @@ for b in build/bench/*; do
   echo "===== $b"
   "$b"
 done
+
+# The bench loop above re-emitted BENCH_matching.json (refreshing the
+# checked-in artifact with this machine's numbers); hold it to the
+# diffusion-bench-v1 schema so drift fails here and not in CI.
+./build/bench/matching_hotpath --check=BENCH_matching.json
 echo "ALL CHECKS PASSED"

@@ -71,7 +71,7 @@ void BlobSender::Start() {
 
 void BlobSender::OnInterest(Message& message, FilterApi& api) {
   const bool is_interest = message.type == MessageType::kInterest;
-  const AttributeVector interest = message.attrs;
+  const AttributeSet interest = message.attrs;
   const uint64_t packet_id = message.PacketId();
   // Always let the message continue through normal diffusion processing.
   api.SendMessage(std::move(message), interest_filter_);
@@ -151,7 +151,7 @@ void BlobSender::SendChunk(size_t index) {
       Attribute::Int32(kKeyBlobCount, AttrOp::kIs, static_cast<int32_t>(chunks_.size())),
       Attribute::Blob(kKeyBlobData, AttrOp::kIs, chunks_[index]),
   };
-  if (node_->Send(publication_, extra)) {
+  if (node_->Send(publication_, extra) == ApiResult::kOk) {
     ++chunks_sent_;
   } else {
     // Nobody is interested (yet): keep the chunk queued and retry later.

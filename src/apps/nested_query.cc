@@ -84,7 +84,7 @@ void LightSensor::Tick() {
       extra.push_back(attr);
     }
   }
-  if (node_->Send(publication_, extra)) {
+  if (node_->Send(publication_, extra) == ApiResult::kOk) {
     ++reports_sent_;
   }
   SimDuration next = config_.light_report_interval;
@@ -218,7 +218,7 @@ void AudioSensor::GenerateAudio(int32_t epoch, int32_t light_id) {
       extra.push_back(attr);
     }
   }
-  if (node_->Send(audio_publication_, extra)) {
+  if (node_->Send(audio_publication_, extra) == ApiResult::kOk) {
     ++audio_generated_;
   }
 }
@@ -314,7 +314,7 @@ void QueryUser::OnLightReport(const AttributeVector& attrs) {
       Attribute::Int32(kKeyEventId, AttrOp::kIs, epoch),
       Attribute::Int32(kKeySourceId, AttrOp::kIs, light_id),
   };
-  if (node_->Send(trigger_publication_, extra)) {
+  if (node_->Send(trigger_publication_, extra) == ApiResult::kOk) {
     ++triggers_sent_;
   }
 }

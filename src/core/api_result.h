@@ -1,0 +1,45 @@
+// Result codes for the Figure-4 publish/subscribe API.
+//
+// The seed API returned `bool` from Send/Unsubscribe/Unpublish/RemoveFilter,
+// which conflated "data found no matching interest" (normal in diffusion —
+// nobody has asked yet) with "you passed a dead handle" (a caller bug).
+// ApiResult keeps the distinction so callers and traces can react
+// differently.
+
+#ifndef SRC_CORE_API_RESULT_H_
+#define SRC_CORE_API_RESULT_H_
+
+#include <cstdint>
+
+namespace diffusion {
+
+enum class ApiResult : uint8_t {
+  kOk = 0,
+  // Send: no gradient-table interest matched the publication, so the data
+  // stayed local. Expected before any sink has expressed interest.
+  kNoMatchingInterest = 1,
+  // The handle was never issued or was already released.
+  kUnknownHandle = 2,
+  // The node has been killed (testbed failure injection).
+  kNodeDead = 3,
+};
+
+constexpr const char* ApiResultName(ApiResult result) {
+  switch (result) {
+    case ApiResult::kOk:
+      return "ok";
+    case ApiResult::kNoMatchingInterest:
+      return "no_matching_interest";
+    case ApiResult::kUnknownHandle:
+      return "unknown_handle";
+    case ApiResult::kNodeDead:
+      return "node_dead";
+  }
+  return "?";
+}
+
+constexpr bool IsOk(ApiResult result) { return result == ApiResult::kOk; }
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_API_RESULT_H_

@@ -53,17 +53,17 @@ bool InterestEntry::HasReinforcedGradient() const {
   return false;
 }
 
-InterestEntry* GradientTable::FindExact(const AttributeVector& attrs) {
-  const uint64_t hash = HashAttributes(attrs);
+InterestEntry* GradientTable::FindExact(const AttributeSet& attrs) {
   for (InterestEntry& entry : entries_) {
-    if (entry.attrs_hash == hash && ExactMatch(entry.attrs, attrs)) {
+    // ExactMatch on AttributeSet compares the precomputed hashes first.
+    if (ExactMatch(entry.attrs, attrs)) {
       return &entry;
     }
   }
   return nullptr;
 }
 
-std::vector<InterestEntry*> GradientTable::MatchData(const AttributeVector& data_attrs) {
+std::vector<InterestEntry*> GradientTable::MatchData(const AttributeSet& data_attrs) {
   std::vector<InterestEntry*> matches;
   for (InterestEntry& entry : entries_) {
     if (TwoWayMatch(entry.attrs, data_attrs)) {
@@ -73,14 +73,13 @@ std::vector<InterestEntry*> GradientTable::MatchData(const AttributeVector& data
   return matches;
 }
 
-InterestEntry& GradientTable::InsertOrRefresh(const AttributeVector& attrs, SimTime expires) {
+InterestEntry& GradientTable::InsertOrRefresh(const AttributeSet& attrs, SimTime expires) {
   if (InterestEntry* existing = FindExact(attrs)) {
     existing->expires = std::max(existing->expires, expires);
     return *existing;
   }
   InterestEntry entry;
   entry.attrs = attrs;
-  entry.attrs_hash = HashAttributes(attrs);
   entry.expires = expires;
   entries_.push_back(std::move(entry));
   return entries_.back();
@@ -97,10 +96,9 @@ void GradientTable::Expire(SimTime now) {
   }
 }
 
-bool GradientTable::RemoveLocal(const AttributeVector& attrs) {
-  const uint64_t hash = HashAttributes(attrs);
+bool GradientTable::RemoveLocal(const AttributeSet& attrs) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->is_local && it->attrs_hash == hash && ExactMatch(it->attrs, attrs)) {
+    if (it->is_local && ExactMatch(it->attrs, attrs)) {
       entries_.erase(it);
       return true;
     }

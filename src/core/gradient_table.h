@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/naming/attribute.h"
+#include "src/naming/attribute_set.h"
 #include "src/radio/position.h"
 #include "src/util/time.h"
 
@@ -36,8 +37,9 @@ struct Gradient {
 };
 
 struct InterestEntry {
-  AttributeVector attrs;
-  uint64_t attrs_hash = 0;
+  // Canonical form: key-sorted, with the order-insensitive hash precomputed
+  // (attrs.hash()), so exact-match probes are a hash compare first.
+  AttributeSet attrs;
   SimTime expires = 0;
 
   // True when a local application subscription created this entry (the node
@@ -82,24 +84,25 @@ struct InterestEntry {
 class GradientTable {
  public:
   // Finds the entry whose attributes exactly match `attrs` (order
-  // insensitive), or nullptr. The hash is compared first (§3.1's
-  // hash-before-full-compare optimization).
-  InterestEntry* FindExact(const AttributeVector& attrs);
+  // insensitive), or nullptr. Both hashes are precomputed, so the probe is
+  // an integer compare per entry (§3.1's hash-before-full-compare
+  // optimization) with a structural check only on a hash hit.
+  InterestEntry* FindExact(const AttributeSet& attrs);
 
   // Entries whose interest two-way matches `data_attrs` — i.e. the
   // destinations/consumers of a data message.
-  std::vector<InterestEntry*> MatchData(const AttributeVector& data_attrs);
+  std::vector<InterestEntry*> MatchData(const AttributeSet& data_attrs);
 
   // Inserts a new entry (or returns the existing exact match), refreshing
   // its expiry to at least `expires`.
-  InterestEntry& InsertOrRefresh(const AttributeVector& attrs, SimTime expires);
+  InterestEntry& InsertOrRefresh(const AttributeSet& attrs, SimTime expires);
 
   // Removes entries and gradients that have expired. Local entries persist
   // until unsubscribed regardless of expiry.
   void Expire(SimTime now);
 
   // Removes a local entry (unsubscribe). Returns true if found.
-  bool RemoveLocal(const AttributeVector& attrs);
+  bool RemoveLocal(const AttributeSet& attrs);
 
   size_t size() const { return entries_.size(); }
 

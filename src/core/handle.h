@@ -1,0 +1,60 @@
+// Typed opaque handles for the Figure-4/5 API.
+//
+// The seed API used `uint32_t` aliases for subscription, publication, and
+// filter handles, so `Unsubscribe(filter_handle)` compiled and silently
+// failed at runtime. Each handle kind is now a distinct opaque type; mixing
+// them is a compile error (see the static_asserts in
+// tests/api_misuse_test.cc).
+
+#ifndef SRC_CORE_HANDLE_H_
+#define SRC_CORE_HANDLE_H_
+
+#include <cstdint>
+
+namespace diffusion {
+
+enum class HandleKind : uint8_t {
+  kSubscription = 0,
+  kPublication = 1,
+  kFilter = 2,
+};
+
+// An opaque per-node identifier. Value 0 is the invalid sentinel (handed out
+// handles start at 1). Handles of different kinds do not convert to each
+// other or to integers.
+template <HandleKind K>
+class Handle {
+ public:
+  constexpr Handle() = default;
+  constexpr explicit Handle(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  // By-value parameters so the kInvalidHandle sentinel converts on either
+  // side of a comparison.
+  friend constexpr bool operator==(Handle a, Handle b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Handle a, Handle b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Handle a, Handle b) { return a.value_ < b.value_; }
+
+ private:
+  uint32_t value_ = 0;
+};
+
+using SubscriptionHandle = Handle<HandleKind::kSubscription>;
+using PublicationHandle = Handle<HandleKind::kPublication>;
+using FilterHandle = Handle<HandleKind::kFilter>;
+
+// Kind-generic invalid sentinel: `handle == kInvalidHandle` and
+// `SubscriptionHandle h = kInvalidHandle;` work for every handle kind.
+struct InvalidHandle {
+  template <HandleKind K>
+  constexpr operator Handle<K>() const {  // NOLINT(google-explicit-constructor)
+    return Handle<K>{};
+  }
+};
+inline constexpr InvalidHandle kInvalidHandle{};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_HANDLE_H_

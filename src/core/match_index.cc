@@ -1,0 +1,68 @@
+#include "src/core/match_index.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace diffusion {
+
+uint64_t MatchIndex::NormalizedBits(double v) {
+  if (std::isnan(v)) {
+    v = std::numeric_limits<double>::quiet_NaN();
+  } else if (v == 0.0) {
+    v = 0.0;  // collapse -0.0 into +0.0
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::vector<MatchIndexEntry>* MatchIndex::GroupFor(const AttributeSet& attrs) {
+  // Soundness: if a full OneWayMatch(entry, message) succeeds, every formal
+  // of the entry on the discriminator key is satisfied by some actual of the
+  // message on that key. So bucketing by *any one* EQ formal's value cannot
+  // lose a true match (the message must carry a double-equal / string-equal
+  // actual, which names that bucket); entries whose key formals are all
+  // non-EQ need some actual on the key (any_); entries with no key formal
+  // are unconstrained.
+  bool has_key_formal = false;
+  for (auto it = attrs.begin(); it != attrs.end(); ++it) {
+    if (it->key() != discriminator_) {
+      continue;
+    }
+    if (!it->IsFormal()) {
+      continue;
+    }
+    has_key_formal = true;
+    if (it->op() != AttrOp::kEq) {
+      continue;
+    }
+    if (const std::string* s = it->AsString()) {
+      return &str_buckets_[*s];
+    }
+    if (std::optional<double> v = it->AsDouble()) {
+      return &num_buckets_[NormalizedBits(*v)];
+    }
+    // Blob EQ formal: no bucket key; treated like a non-EQ comparison.
+  }
+  return has_key_formal ? &any_ : &unconstrained_;
+}
+
+void MatchIndex::Insert(uint32_t id, int32_t priority, const AttributeSet* attrs) {
+  GroupFor(*attrs)->push_back(MatchIndexEntry{id, priority, attrs});
+  ++size_;
+}
+
+void MatchIndex::Erase(uint32_t id, const AttributeSet& attrs) {
+  std::vector<MatchIndexEntry>* group = GroupFor(attrs);
+  for (auto it = group->begin(); it != group->end(); ++it) {
+    if (it->id == id) {
+      group->erase(it);
+      --size_;
+      return;
+    }
+  }
+}
+
+}  // namespace diffusion

@@ -1,0 +1,123 @@
+// Candidate index for filter/subscription dispatch.
+//
+// DispatchToChain and DeliverLocalData used to test every registered filter
+// or subscription against every message. Almost all diffusion attribute sets
+// carry a discriminating actual or equality formal on one key — `class`
+// (interest vs data) in this codebase — so the index buckets entries by the
+// value of their first EQ formal on that key. A message then only visits:
+//
+//   * the buckets named by its own actuals for the key (hash lookups),
+//   * entries whose key formals are non-EQ comparisons (`any_`), and
+//   * entries with no formal on the key at all (`unconstrained_`).
+//
+// The index is conservative: the candidate set is a superset of the true
+// match set (no false negatives — see the soundness notes on Insert), and
+// callers re-run the full match on each candidate to drop false positives.
+// Numeric bucket keys use the bit pattern of the value promoted to double
+// (the promotion MatchesActual performs), with -0.0 and NaN normalized, so
+// an int32 formal and a float64 actual that compare equal land in the same
+// bucket.
+
+#ifndef SRC_CORE_MATCH_INDEX_H_
+#define SRC_CORE_MATCH_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/naming/attribute_set.h"
+
+namespace diffusion {
+
+// One indexed filter or subscription. `id` is the handle value (unique per
+// owner map), `priority` orders filter selection (0 for subscriptions), and
+// `attrs` points at the owner's stored attribute set (stable address — the
+// owners keep entries in node-based maps).
+struct MatchIndexEntry {
+  uint32_t id = 0;
+  int32_t priority = 0;
+  const AttributeSet* attrs = nullptr;
+};
+
+class MatchIndex {
+ public:
+  explicit MatchIndex(AttrKey discriminator) : discriminator_(discriminator) {}
+
+  // `attrs` must outlive the entry and must not be mutated while indexed
+  // (classification is repeated on Erase).
+  void Insert(uint32_t id, int32_t priority, const AttributeSet* attrs);
+  void Erase(uint32_t id, const AttributeSet& attrs);
+
+  size_t size() const { return size_; }
+
+  // Invokes `fn(const MatchIndexEntry&)` for every entry that could match
+  // `message`. May invoke `fn` more than once for the same entry when the
+  // message carries duplicate actuals on the discriminator key; callers
+  // must be idempotent or deduplicate. The index must not be mutated from
+  // inside `fn`.
+  template <typename Fn>
+  void ForEachCandidate(const AttributeSet& message, Fn&& fn) const {
+    for (const MatchIndexEntry& entry : unconstrained_) {
+      fn(entry);
+    }
+    bool has_actual = false;
+    const AttributeVector& items = message.items();
+    auto run = std::lower_bound(
+        items.begin(), items.end(), discriminator_,
+        [](const Attribute& attr, AttrKey key) { return attr.key() < key; });
+    for (; run != items.end() && run->key() == discriminator_; ++run) {
+      if (!run->IsActual()) {
+        continue;
+      }
+      has_actual = true;
+      if (const std::string* s = run->AsString()) {
+        auto it = str_buckets_.find(*s);
+        if (it != str_buckets_.end()) {
+          for (const MatchIndexEntry& entry : it->second) {
+            fn(entry);
+          }
+        }
+      } else if (std::optional<double> v = run->AsDouble()) {
+        auto it = num_buckets_.find(NormalizedBits(*v));
+        if (it != num_buckets_.end()) {
+          for (const MatchIndexEntry& entry : it->second) {
+            fn(entry);
+          }
+        }
+      }
+      // Blob actuals name no bucket (blob EQ formals live in any_).
+    }
+    if (has_actual) {
+      for (const MatchIndexEntry& entry : any_) {
+        fn(entry);
+      }
+    }
+  }
+
+  // Bit pattern of `v` with -0.0 collapsed to +0.0 and every NaN collapsed
+  // to one representation, so bucket keys agree exactly where double
+  // comparison says equal. Exposed for tests.
+  static uint64_t NormalizedBits(double v);
+
+ private:
+  // The group a set of attributes files under, given its formals on the
+  // discriminator key.
+  std::vector<MatchIndexEntry>* GroupFor(const AttributeSet& attrs);
+
+  AttrKey discriminator_;
+  std::unordered_map<uint64_t, std::vector<MatchIndexEntry>> num_buckets_;
+  std::unordered_map<std::string, std::vector<MatchIndexEntry>> str_buckets_;
+  // Entries with a non-EQ formal (NE/LT/GT/LE/GE/EQ_ANY, or blob EQ) on the
+  // discriminator key: any actual on the key could satisfy them.
+  std::vector<MatchIndexEntry> any_;
+  // Entries with no formal on the discriminator key: match regardless.
+  std::vector<MatchIndexEntry> unconstrained_;
+  size_t size_ = 0;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_MATCH_INDEX_H_

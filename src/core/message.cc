@@ -24,12 +24,16 @@ const char* MessageTypeName(MessageType type) {
 
 std::vector<uint8_t> Message::Serialize() const {
   ByteWriter writer;
-  writer.WriteU8(static_cast<uint8_t>(type));
-  writer.WriteU32(origin);
-  writer.WriteU32(origin_seq);
-  writer.WriteU8(ttl);
-  SerializeAttributes(attrs, &writer);
+  SerializeInto(&writer);
   return writer.Take();
+}
+
+void Message::SerializeInto(ByteWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(type));
+  writer->WriteU32(origin);
+  writer->WriteU32(origin_seq);
+  writer->WriteU8(ttl);
+  attrs.Serialize(writer);
 }
 
 std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
@@ -44,7 +48,7 @@ std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
     return std::nullopt;
   }
   message.type = static_cast<MessageType>(type_raw);
-  std::optional<AttributeVector> attrs = DeserializeAttributes(&reader);
+  std::optional<AttributeSet> attrs = AttributeSet::Deserialize(&reader);
   if (!attrs.has_value()) {
     return std::nullopt;
   }
@@ -52,7 +56,7 @@ std::optional<Message> Message::Deserialize(const std::vector<uint8_t>& bytes) {
   return message;
 }
 
-size_t Message::WireSize() const { return 1 + 4 + 4 + 1 + AttributesWireSize(attrs); }
+size_t Message::WireSize() const { return 1 + 4 + 4 + 1 + attrs.WireSize(); }
 
 std::string Message::ToString() const {
   std::ostringstream out;

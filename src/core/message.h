@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/naming/attribute.h"
+#include "src/naming/attribute_set.h"
 #include "src/radio/position.h"
 
 namespace diffusion {
@@ -46,12 +47,18 @@ struct Message {
   NodeId last_hop = kBroadcastId;
   NodeId next_hop = kBroadcastId;
 
-  AttributeVector attrs;
+  // Canonical (key-sorted, pre-hashed) attribute set; constructs implicitly
+  // from AttributeVector and initializer lists, so message-building code is
+  // unchanged while matching gets the sorted fast path.
+  AttributeSet attrs;
 
   uint64_t PacketId() const { return (static_cast<uint64_t>(origin) << 32) | origin_seq; }
 
   // Body encoding (excludes link-layer addressing).
   std::vector<uint8_t> Serialize() const;
+  // Same encoding appended to `writer` — lets the per-node transmit path
+  // reuse a scratch buffer instead of allocating a vector per hop.
+  void SerializeInto(ByteWriter* writer) const;
   static std::optional<Message> Deserialize(const std::vector<uint8_t>& bytes);
 
   // Bytes of the encoded body; this is the unit the paper's Figure 8 counts.

@@ -19,7 +19,15 @@ SimTime FilterApi::now() const { return node_->sim_->now(); }
 void FilterApi::SendMessage(Message message, FilterHandle handle) {
   auto it = node_->filters_.find(handle);
   if (it == node_->filters_.end()) {
-    // The invoking filter removed itself; fall through to the core.
+    // Stale re-injection: the handle was never issued or has been removed
+    // (typically a filter re-injecting after removing itself). Count and
+    // trace it, then fall through to the core so the message is not lost.
+    ++node_->stats_.stale_filter_reinjections;
+    if (node_->sim_->tracing()) {
+      node_->sim_->Trace(TraceEvent{node_->sim_->now(), TraceEventKind::kStaleFilterReinjected,
+                                    node_->id_, kBroadcastId, message.PacketId(),
+                                    static_cast<int64_t>(handle.value())});
+    }
     node_->CoreProcess(message);
     return;
   }
@@ -75,9 +83,9 @@ DiffusionNode::~DiffusionNode() {
   }
 }
 
-SubscriptionHandle DiffusionNode::Subscribe(AttributeVector attrs, DataCallback callback) {
+SubscriptionHandle DiffusionNode::Subscribe(AttributeSet attrs, DataCallback callback) {
   Subscription subscription;
-  subscription.handle = next_handle_++;
+  subscription.handle = SubscriptionHandle{next_handle_++};
   subscription.attrs = std::move(attrs);
   subscription.callback = std::move(callback);
 
@@ -101,6 +109,8 @@ SubscriptionHandle DiffusionNode::Subscribe(AttributeVector attrs, DataCallback 
 
   const SubscriptionHandle handle = subscription.handle;
   auto [it, inserted] = subscriptions_.emplace(handle, std::move(subscription));
+  // Index after emplacing: the entry points into the map node (stable).
+  subscription_index_.Insert(handle.value(), 0, &it->second.attrs);
   if (!it->second.local_only) {
     FloodInterest(it->second);
     ScheduleRefresh(handle);
@@ -118,10 +128,10 @@ SubscriptionHandle DiffusionNode::Subscribe(AttributeVector attrs, DataCallback 
   return handle;
 }
 
-bool DiffusionNode::Unsubscribe(SubscriptionHandle handle) {
+ApiResult DiffusionNode::Unsubscribe(SubscriptionHandle handle) {
   auto it = subscriptions_.find(handle);
   if (it == subscriptions_.end()) {
-    return false;
+    return ApiResult::kUnknownHandle;
   }
   if (it->second.refresh_event != kInvalidEventId) {
     sim_->Cancel(it->second.refresh_event);
@@ -129,8 +139,9 @@ bool DiffusionNode::Unsubscribe(SubscriptionHandle handle) {
   if (it->second.duration_event != kInvalidEventId) {
     sim_->Cancel(it->second.duration_event);
   }
-  const AttributeVector interest_attrs = it->second.interest_attrs;
+  const AttributeSet interest_attrs = it->second.interest_attrs;
   const bool local_only = it->second.local_only;
+  subscription_index_.Erase(handle.value(), it->second.attrs);
   subscriptions_.erase(it);
   if (!local_only) {
     // Keep the local entry if another subscription still uses the same
@@ -146,12 +157,12 @@ bool DiffusionNode::Unsubscribe(SubscriptionHandle handle) {
       gradients_.RemoveLocal(interest_attrs);
     }
   }
-  return true;
+  return ApiResult::kOk;
 }
 
-PublicationHandle DiffusionNode::Publish(AttributeVector attrs) {
+PublicationHandle DiffusionNode::Publish(AttributeSet attrs) {
   Publication publication;
-  publication.handle = next_handle_++;
+  publication.handle = PublicationHandle{next_handle_++};
   publication.attrs = std::move(attrs);
   if (FindActual(publication.attrs, kKeyClass) == nullptr) {
     publication.attrs.push_back(ClassIs(kClassData));
@@ -161,25 +172,30 @@ PublicationHandle DiffusionNode::Publish(AttributeVector attrs) {
   return handle;
 }
 
-bool DiffusionNode::Unpublish(PublicationHandle handle) { return publications_.erase(handle) > 0; }
+ApiResult DiffusionNode::Unpublish(PublicationHandle handle) {
+  return publications_.erase(handle) > 0 ? ApiResult::kOk : ApiResult::kUnknownHandle;
+}
 
-bool DiffusionNode::Send(PublicationHandle handle, const AttributeVector& extra_attrs) {
+ApiResult DiffusionNode::Send(PublicationHandle handle, const AttributeVector& extra_attrs) {
   auto it = publications_.find(handle);
-  if (it == publications_.end() || !alive_) {
-    return false;
+  if (it == publications_.end()) {
+    return ApiResult::kUnknownHandle;
+  }
+  if (!alive_) {
+    return ApiResult::kNodeDead;
   }
   Publication& publication = it->second;
 
   Message message;
   message.attrs = publication.attrs;
-  message.attrs.insert(message.attrs.end(), extra_attrs.begin(), extra_attrs.end());
+  message.attrs.Append(extra_attrs);
 
   gradients_.Expire(sim_->now());
   const std::vector<InterestEntry*> entries = gradients_.MatchData(message.attrs);
   if (entries.empty()) {
     // "If there are no active subscriptions, published data does not leave
     // the node" (§4.1).
-    return false;
+    return ApiResult::kNoMatchingInterest;
   }
 
   // A source without any reinforced path is back in the "initial data
@@ -210,22 +226,31 @@ bool DiffusionNode::Send(PublicationHandle handle, const AttributeVector& extra_
   message.ttl = config_.flood_ttl;
   ++stats_.data_originated;
   DispatchToChain(std::move(message), std::numeric_limits<int32_t>::max());
-  return true;
+  return ApiResult::kOk;
 }
 
-FilterHandle DiffusionNode::AddFilter(AttributeVector attrs, int16_t priority,
+FilterHandle DiffusionNode::AddFilter(AttributeSet attrs, int16_t priority,
                                       FilterCallback callback) {
   Filter filter;
-  filter.handle = next_handle_++;
+  filter.handle = FilterHandle{next_handle_++};
   filter.attrs = std::move(attrs);
   filter.priority = priority;
   filter.callback = std::move(callback);
   const FilterHandle handle = filter.handle;
-  filters_.emplace(handle, std::move(filter));
+  auto [it, inserted] = filters_.emplace(handle, std::move(filter));
+  filter_index_.Insert(handle.value(), priority, &it->second.attrs);
   return handle;
 }
 
-bool DiffusionNode::RemoveFilter(FilterHandle handle) { return filters_.erase(handle) > 0; }
+ApiResult DiffusionNode::RemoveFilter(FilterHandle handle) {
+  auto it = filters_.find(handle);
+  if (it == filters_.end()) {
+    return ApiResult::kUnknownHandle;
+  }
+  filter_index_.Erase(handle.value(), it->second.attrs);
+  filters_.erase(it);
+  return ApiResult::kOk;
+}
 
 std::vector<NodeId> DiffusionNode::Neighbors() const {
   std::vector<NodeId> neighbors;
@@ -258,6 +283,9 @@ void DiffusionNode::RegisterMetrics(MetricsRegistry* registry) {
                             [this] { return static_cast<double>(stats_.reinforcements_sent); });
   registry->RegisterCounter(id_, "diffusion.negative_reinforcements_sent", [this] {
     return static_cast<double>(stats_.negative_reinforcements_sent);
+  });
+  registry->RegisterCounter(id_, "diffusion.stale_filter_reinjections", [this] {
+    return static_cast<double>(stats_.stale_filter_reinjections);
   });
   registry->RegisterGauge(id_, "diffusion.gradient_entries",
                           [this] { return static_cast<double>(gradients_.size()); });
@@ -321,28 +349,36 @@ void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& byte
 }
 
 void DiffusionNode::DispatchToChain(Message message, int32_t below_priority) {
-  const Filter* best = nullptr;
-  for (const auto& [handle, filter] : filters_) {
-    if (filter.priority >= below_priority) {
-      continue;
+  // Winner selection over index candidates only; ties break toward the
+  // lowest handle, matching the old ascending full-chain scan. The index may
+  // offer a candidate twice (duplicate message actuals) — selection is
+  // idempotent, so that is harmless.
+  bool found = false;
+  int32_t best_priority = 0;
+  uint32_t best_id = 0;
+  filter_index_.ForEachCandidate(message.attrs, [&](const MatchIndexEntry& entry) {
+    if (entry.priority >= below_priority) {
+      return;
     }
-    if (best != nullptr && (filter.priority < best->priority ||
-                            (filter.priority == best->priority && filter.handle > best->handle))) {
-      continue;
+    if (found && (entry.priority < best_priority ||
+                  (entry.priority == best_priority && entry.id >= best_id))) {
+      return;
     }
     // Filters trigger on a one-way match: the filter's formals must be
     // satisfied by the message's actuals. (A message's own formals — e.g. an
     // interest's comparisons — don't constrain which filters see it.)
-    if (OneWayMatch(filter.attrs, message.attrs)) {
-      best = &filter;
+    if (OneWayMatch(*entry.attrs, message.attrs)) {
+      found = true;
+      best_priority = entry.priority;
+      best_id = entry.id;
     }
-  }
-  if (best == nullptr) {
+  });
+  if (!found) {
     CoreProcess(message);
     return;
   }
   // Copy the callback: it may remove its own filter while running.
-  FilterCallback callback = best->callback;
+  FilterCallback callback = filters_.find(FilterHandle{best_id})->second.callback;
   callback(message, filter_api_);
 }
 
@@ -410,10 +446,22 @@ void DiffusionNode::ProcessInterest(Message& message) {
   }
 
   // Inform local subscriptions-for-subscriptions (§4.1): publishers that
-  // asked to hear about arriving interests.
-  for (const auto& [handle, subscription] : subscriptions_) {
-    if (TwoWayMatch(subscription.attrs, message.attrs)) {
-      subscription.callback(message.attrs);
+  // asked to hear about arriving interests. Candidate ids are collected
+  // first (sorted, deduplicated — same visit order as the old map scan)
+  // because a callback may itself subscribe or unsubscribe.
+  std::vector<uint32_t> watcher_ids;
+  subscription_index_.ForEachCandidate(
+      message.attrs, [&](const MatchIndexEntry& entry) { watcher_ids.push_back(entry.id); });
+  std::sort(watcher_ids.begin(), watcher_ids.end());
+  watcher_ids.erase(std::unique(watcher_ids.begin(), watcher_ids.end()), watcher_ids.end());
+  for (uint32_t id : watcher_ids) {
+    auto sub_it = subscriptions_.find(SubscriptionHandle{id});
+    if (sub_it == subscriptions_.end()) {
+      continue;  // removed by an earlier callback
+    }
+    if (TwoWayMatch(sub_it->second.attrs, message.attrs)) {
+      DataCallback callback = sub_it->second.callback;
+      callback(message.attrs.items());
     }
   }
 
@@ -637,12 +685,15 @@ void DiffusionNode::TransmitMessage(const Message& message) {
   if (!alive_) {
     return;
   }
-  std::vector<uint8_t> bytes = message.Serialize();
+  // Encode into the node's scratch buffer; the radio copies what it needs
+  // (fragments) before returning, so the buffer can be reused next hop.
+  tx_writer_.Clear();
+  message.SerializeInto(&tx_writer_);
   ++stats_.messages_sent;
-  stats_.bytes_sent += bytes.size();
+  stats_.bytes_sent += tx_writer_.size();
   if (sim_->tracing()) {
     TraceEventKind kind = TraceEventKind::kDataForward;
-    int64_t value = static_cast<int64_t>(bytes.size());
+    int64_t value = static_cast<int64_t>(tx_writer_.size());
     switch (message.type) {
       case MessageType::kInterest:
         kind = TraceEventKind::kInterestSent;
@@ -664,7 +715,7 @@ void DiffusionNode::TransmitMessage(const Message& message) {
     }
     sim_->Trace(TraceEvent{sim_->now(), kind, id_, message.next_hop, message.PacketId(), value});
   }
-  radio_.SendMessage(message.next_hop, std::move(bytes));
+  radio_.SendMessage(message.next_hop, tx_writer_.data());
 }
 
 void DiffusionNode::FloodInterest(Subscription& subscription) {
@@ -717,10 +768,25 @@ void DiffusionNode::SendReinforcement(MessageType type, const InterestEntry& ent
 }
 
 void DiffusionNode::DeliverLocalData(const Message& message) {
+  // Candidates first (sorted + deduplicated: the same ascending-handle visit
+  // order as the old full map scan), then re-looked-up per callback — a
+  // callback may unsubscribe itself or others while we deliver.
+  std::vector<uint32_t> candidate_ids;
+  subscription_index_.ForEachCandidate(
+      message.attrs, [&](const MatchIndexEntry& entry) { candidate_ids.push_back(entry.id); });
+  std::sort(candidate_ids.begin(), candidate_ids.end());
+  candidate_ids.erase(std::unique(candidate_ids.begin(), candidate_ids.end()),
+                      candidate_ids.end());
   bool delivered = false;
-  for (const auto& [handle, subscription] : subscriptions_) {
-    if (TwoWayMatch(subscription.attrs, message.attrs)) {
-      subscription.callback(message.attrs);
+  for (uint32_t id : candidate_ids) {
+    auto it = subscriptions_.find(SubscriptionHandle{id});
+    if (it == subscriptions_.end()) {
+      continue;  // removed by an earlier callback
+    }
+    if (TwoWayMatch(it->second.attrs, message.attrs)) {
+      // Copy the callback: it may unsubscribe (and destroy) itself.
+      DataCallback callback = it->second.callback;
+      callback(message.attrs.items());
       delivered = true;
     }
   }

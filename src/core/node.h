@@ -28,21 +28,20 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/core/api_result.h"
 #include "src/core/config.h"
 #include "src/core/data_cache.h"
 #include "src/core/gradient_table.h"
+#include "src/core/handle.h"
+#include "src/core/match_index.h"
 #include "src/core/message.h"
 #include "src/naming/attribute.h"
+#include "src/naming/attribute_set.h"
 #include "src/naming/keys.h"
 #include "src/radio/radio.h"
 #include "src/sim/simulator.h"
 
 namespace diffusion {
-
-using SubscriptionHandle = uint32_t;
-using PublicationHandle = uint32_t;
-using FilterHandle = uint32_t;
-constexpr uint32_t kInvalidHandle = 0;
 
 class DiffusionNode;
 
@@ -89,6 +88,9 @@ struct NodeStats {
   uint64_t decode_failures = 0;
   uint64_t reinforcements_sent = 0;
   uint64_t negative_reinforcements_sent = 0;
+  // FilterApi::SendMessage calls with a handle that is no longer registered
+  // (usually a filter re-injecting after removing itself).
+  uint64_t stale_filter_reinjections = 0;
 };
 
 class DiffusionNode {
@@ -106,23 +108,27 @@ class DiffusionNode {
   DiffusionNode& operator=(const DiffusionNode&) = delete;
 
   // ---- Figure 4: publish/subscribe API ----
+  //
+  // Handles are distinct opaque types per kind — passing a FilterHandle to
+  // Unsubscribe is a compile error. Teardown/send calls return ApiResult so
+  // "data stayed local" and "bad handle" are distinguishable.
 
   // Subscribes to data matching `attrs`. Floods an interest (and re-floods
   // every interest_refresh) unless the subscription is for interests
   // themselves (contains a formal on the class attribute matching
   // "class IS interest"), which only watches locally arriving interests.
-  SubscriptionHandle Subscribe(AttributeVector attrs, DataCallback callback);
-  bool Unsubscribe(SubscriptionHandle handle);
+  SubscriptionHandle Subscribe(AttributeSet attrs, DataCallback callback);
+  ApiResult Unsubscribe(SubscriptionHandle handle);
 
   // Declares data this node can produce. The attrs must be actuals
   // describing the data (a "class IS data" actual is appended if absent).
-  PublicationHandle Publish(AttributeVector attrs);
-  bool Unpublish(PublicationHandle handle);
+  PublicationHandle Publish(AttributeSet attrs);
+  ApiResult Unpublish(PublicationHandle handle);
 
   // Sends one data message: the publication's attrs plus `extra_attrs`.
-  // Returns false when no matching interest exists anywhere locally (the
-  // data does not leave the node).
-  bool Send(PublicationHandle handle, const AttributeVector& extra_attrs);
+  // Returns kNoMatchingInterest when no matching interest exists anywhere
+  // locally (the data does not leave the node, §4.1).
+  ApiResult Send(PublicationHandle handle, const AttributeVector& extra_attrs);
 
   // ---- Figure 5: filter API ----
 
@@ -130,8 +136,8 @@ class DiffusionNode {
   // message entering the node whose actuals satisfy `attrs`' formals
   // (one-way match), highest priority first; it then owns the message and
   // must re-inject it (FilterApi::SendMessage) for processing to continue.
-  FilterHandle AddFilter(AttributeVector attrs, int16_t priority, FilterCallback callback);
-  bool RemoveFilter(FilterHandle handle);
+  FilterHandle AddFilter(AttributeSet attrs, int16_t priority, FilterCallback callback);
+  ApiResult RemoveFilter(FilterHandle handle);
 
   // ---- introspection / experiment support ----
 
@@ -159,8 +165,8 @@ class DiffusionNode {
 
   struct Subscription {
     SubscriptionHandle handle = kInvalidHandle;
-    AttributeVector attrs;           // as given by the application
-    AttributeVector interest_attrs;  // with the implicit class actual
+    AttributeSet attrs;           // as given by the application
+    AttributeSet interest_attrs;  // with the implicit class actual
     DataCallback callback;
     bool local_only = false;  // subscription *for* interests
     EventId refresh_event = kInvalidEventId;
@@ -169,13 +175,13 @@ class DiffusionNode {
 
   struct Publication {
     PublicationHandle handle = kInvalidHandle;
-    AttributeVector attrs;
+    AttributeSet attrs;
     uint64_t send_count = 0;
   };
 
   struct Filter {
     FilterHandle handle = kInvalidHandle;
-    AttributeVector attrs;
+    AttributeSet attrs;
     int16_t priority = 0;
     FilterCallback callback;
   };
@@ -224,13 +230,25 @@ class DiffusionNode {
   GradientTable gradients_;
   DataCache seen_packets_;
 
+  // Node-based maps: Subscription/Filter addresses stay stable, so the match
+  // indexes below can hold pointers to their attribute sets.
   std::map<SubscriptionHandle, Subscription> subscriptions_;
   std::map<PublicationHandle, Publication> publications_;
   std::map<FilterHandle, Filter> filters_;
 
+  // Candidate indexes over filters_/subscriptions_, discriminated on the
+  // `class` attribute. Kept in sync by Add/Remove; DispatchToChain and
+  // DeliverLocalData consult these instead of scanning the full chain.
+  MatchIndex filter_index_{kKeyClass};
+  MatchIndex subscription_index_{kKeyClass};
+
   std::unordered_map<NodeId, SimTime> neighbors_;
   std::unordered_set<EventId> pending_transmits_;
   Rng rng_;
+
+  // Scratch encode buffer reused by TransmitMessage (one allocation per
+  // node instead of one per hop).
+  ByteWriter tx_writer_;
 
   uint32_t next_handle_ = 1;
   uint32_t next_origin_seq_ = 1;

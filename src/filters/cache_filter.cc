@@ -50,7 +50,7 @@ void CacheFilter::OnInterest(Message& message, FilterApi& api) {
     return;
   }
   const uint64_t packet_id = message.PacketId();
-  const AttributeVector interest = message.attrs;
+  const AttributeSet interest = message.attrs;
   // Let the interest continue (gradient setup, re-flood) first, so the
   // replayed data finds routing state in place.
   api.SendMessage(std::move(message), interest_filter_);

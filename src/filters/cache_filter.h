@@ -37,7 +37,7 @@ class CacheFilter {
 
  private:
   struct Entry {
-    AttributeVector attrs;
+    AttributeSet attrs;
     SimTime stored_at;
   };
 

@@ -87,7 +87,7 @@ void GeoScopeFilter::Run(Message& message, FilterApi& api) {
     api.SendMessage(std::move(message), handle_);
     return;
   }
-  std::optional<GeoRect> rect = RectFromInterest(message.attrs);
+  std::optional<GeoRect> rect = RectFromInterest(message.attrs.items());
   if (!rect.has_value()) {
     // Not geographically constrained: nothing to scope.
     ++passed_;

@@ -67,7 +67,7 @@ void MicroGateway::OnMicroData(MicroTag tag, int32_t value, NodeId origin) {
   extra.push_back(Attribute::Int32(kKeySourceId, AttrOp::kIs, static_cast<int32_t>(origin)));
   extra.push_back(
       Attribute::Int32(kKeySequence, AttrOp::kIs, static_cast<int32_t>(binding.reading_seq++)));
-  if (full_->Send(binding.publication, extra)) {
+  if (full_->Send(binding.publication, extra) == ApiResult::kOk) {
     ++readings_bridged_;
   }
 }

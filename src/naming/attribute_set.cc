@@ -1,0 +1,248 @@
+#include "src/naming/attribute_set.h"
+
+#include <algorithm>
+
+namespace diffusion {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t FnvByte(uint64_t h, uint8_t byte) { return (h ^ byte) * kFnvPrime; }
+
+inline uint64_t FnvU16(uint64_t h, uint16_t v) {
+  h = FnvByte(h, static_cast<uint8_t>(v));
+  return FnvByte(h, static_cast<uint8_t>(v >> 8));
+}
+
+inline uint64_t FnvU32(uint64_t h, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    h = FnvByte(h, static_cast<uint8_t>(v >> shift));
+  }
+  return h;
+}
+
+inline uint64_t FnvU64(uint64_t h, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h = FnvByte(h, static_cast<uint8_t>(v >> shift));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t AttributeHash(const Attribute& attr) {
+  // FNV-1a over the attribute's little-endian wire encoding, byte for byte
+  // the same sequence Attribute::Serialize emits, but without materializing
+  // it. HashAttributes (matching.cc) folds these per-attribute hashes the
+  // same way, so vector-era and canonical hashes agree.
+  uint64_t h = kFnvOffset;
+  h = FnvU32(h, attr.key());
+  h = FnvByte(h, static_cast<uint8_t>(attr.op()));
+  h = FnvByte(h, static_cast<uint8_t>(attr.type()));
+  switch (attr.type()) {
+    case AttrType::kInt32:
+      h = FnvU32(h, static_cast<uint32_t>(std::get<int32_t>(attr.value())));
+      break;
+    case AttrType::kInt64:
+      h = FnvU64(h, static_cast<uint64_t>(std::get<int64_t>(attr.value())));
+      break;
+    case AttrType::kFloat32: {
+      uint32_t bits;
+      static_assert(sizeof(bits) == sizeof(float));
+      std::memcpy(&bits, &std::get<float>(attr.value()), sizeof(bits));
+      h = FnvU32(h, bits);
+      break;
+    }
+    case AttrType::kFloat64: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double));
+      std::memcpy(&bits, &std::get<double>(attr.value()), sizeof(bits));
+      h = FnvU64(h, bits);
+      break;
+    }
+    case AttrType::kString: {
+      const std::string& s = std::get<std::string>(attr.value());
+      h = FnvU16(h, static_cast<uint16_t>(s.size()));
+      for (char c : s) {
+        h = FnvByte(h, static_cast<uint8_t>(c));
+      }
+      break;
+    }
+    case AttrType::kBlob: {
+      const std::vector<uint8_t>& bytes = std::get<std::vector<uint8_t>>(attr.value());
+      h = FnvU16(h, static_cast<uint16_t>(bytes.size()));
+      for (uint8_t byte : bytes) {
+        h = FnvByte(h, byte);
+      }
+      break;
+    }
+  }
+  return h;
+}
+
+AttributeSet::AttributeSet(AttributeVector attrs) : attrs_(std::move(attrs)) { Canonicalize(); }
+
+AttributeSet::AttributeSet(std::initializer_list<Attribute> attrs) : attrs_(attrs) {
+  Canonicalize();
+}
+
+void AttributeSet::Canonicalize() {
+  // Stable: same-key attributes keep their construction order, which keeps
+  // ToString and serialized bytes deterministic for any insertion order of
+  // distinct keys.
+  std::stable_sort(attrs_.begin(), attrs_.end(),
+                   [](const Attribute& a, const Attribute& b) { return a.key() < b.key(); });
+  hash_sum_ = 0;
+  hash_xor_ = 0;
+  for (const Attribute& attr : attrs_) {
+    const uint64_t h = AttributeHash(attr);
+    hash_sum_ += h * 0x9e3779b97f4a7c15ULL;
+    hash_xor_ ^= h;
+  }
+}
+
+uint64_t AttributeSet::hash() const {
+  // Same final mix as HashAttributes (matching.cc) so the two agree.
+  uint64_t combined = hash_sum_ ^ (hash_xor_ * 0xff51afd7ed558ccdULL) ^ attrs_.size();
+  combined ^= combined >> 33;
+  combined *= 0xc4ceb9fe1a85ec53ULL;
+  combined ^= combined >> 33;
+  return combined;
+}
+
+size_t AttributeSet::LowerBound(AttrKey key) const {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), key,
+                             [](const Attribute& attr, AttrKey k) { return attr.key() < k; });
+  return static_cast<size_t>(it - attrs_.begin());
+}
+
+void AttributeSet::Add(Attribute attr) {
+  const uint64_t h = AttributeHash(attr);
+  hash_sum_ += h * 0x9e3779b97f4a7c15ULL;
+  hash_xor_ ^= h;
+  // Insert after existing attributes with the same key (upper bound), which
+  // is what stable_sort over "append then canonicalize" would produce.
+  auto it = std::upper_bound(attrs_.begin(), attrs_.end(), attr.key(),
+                             [](AttrKey k, const Attribute& existing) { return k < existing.key(); });
+  attrs_.insert(it, std::move(attr));
+}
+
+size_t AttributeSet::RemoveKey(AttrKey key) {
+  const size_t begin = LowerBound(key);
+  size_t end = begin;
+  while (end < attrs_.size() && attrs_[end].key() == key) {
+    const uint64_t h = AttributeHash(attrs_[end]);
+    hash_sum_ -= h * 0x9e3779b97f4a7c15ULL;
+    hash_xor_ ^= h;
+    ++end;
+  }
+  attrs_.erase(attrs_.begin() + static_cast<ptrdiff_t>(begin),
+               attrs_.begin() + static_cast<ptrdiff_t>(end));
+  return end - begin;
+}
+
+void AttributeSet::Append(const AttributeSet& extra) {
+  for (const Attribute& attr : extra.attrs_) {
+    Add(attr);
+  }
+}
+
+void AttributeSet::Append(const AttributeVector& extra) {
+  for (const Attribute& attr : extra) {
+    Add(attr);
+  }
+}
+
+void AttributeSet::Clear() {
+  attrs_.clear();
+  hash_sum_ = 0;
+  hash_xor_ = 0;
+}
+
+const Attribute* AttributeSet::Find(AttrKey key) const {
+  const size_t i = LowerBound(key);
+  if (i < attrs_.size() && attrs_[i].key() == key) {
+    return &attrs_[i];
+  }
+  return nullptr;
+}
+
+const Attribute* AttributeSet::FindActual(AttrKey key) const {
+  for (size_t i = LowerBound(key); i < attrs_.size() && attrs_[i].key() == key; ++i) {
+    if (attrs_[i].IsActual()) {
+      return &attrs_[i];
+    }
+  }
+  return nullptr;
+}
+
+bool AttributeSet::operator==(const AttributeSet& other) const {
+  if (attrs_.size() != other.attrs_.size() || hash() != other.hash()) {
+    return false;
+  }
+  // Walk runs of equal keys in lockstep; within a run, compare as a multiset
+  // (runs are almost always length 1, so the inner quadratic never bites).
+  size_t i = 0;
+  while (i < attrs_.size()) {
+    const AttrKey key = attrs_[i].key();
+    if (other.attrs_[i].key() != key) {
+      return false;
+    }
+    size_t run_end = i + 1;
+    while (run_end < attrs_.size() && attrs_[run_end].key() == key) {
+      ++run_end;
+    }
+    if (run_end < other.attrs_.size() && other.attrs_[run_end].key() == key) {
+      return false;  // other has a longer run of this key
+    }
+    if (run_end - i == 1) {
+      if (!(attrs_[i] == other.attrs_[i])) {
+        return false;
+      }
+    } else {
+      std::vector<bool> used(run_end - i, false);
+      for (size_t a = i; a < run_end; ++a) {
+        bool found = false;
+        for (size_t b = i; b < run_end; ++b) {
+          if (!used[b - i] && attrs_[a] == other.attrs_[b]) {
+            used[b - i] = true;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return false;
+        }
+      }
+    }
+    i = run_end;
+  }
+  return true;
+}
+
+void AttributeSet::Serialize(ByteWriter* writer) const { SerializeAttributes(attrs_, writer); }
+
+std::optional<AttributeSet> AttributeSet::Deserialize(ByteReader* reader) {
+  std::optional<AttributeVector> attrs = DeserializeAttributes(reader);
+  if (!attrs.has_value()) {
+    return std::nullopt;
+  }
+  return AttributeSet(std::move(*attrs));
+}
+
+size_t AttributeSet::WireSize() const { return AttributesWireSize(attrs_); }
+
+std::string AttributeSet::ToString() const { return AttributesToString(attrs_); }
+
+const Attribute* FindAttribute(const AttributeSet& attrs, AttrKey key) { return attrs.Find(key); }
+
+const Attribute* FindActual(const AttributeSet& attrs, AttrKey key) {
+  return attrs.FindActual(key);
+}
+
+size_t RemoveAttributes(AttributeSet* attrs, AttrKey key) { return attrs->RemoveKey(key); }
+
+std::string AttributesToString(const AttributeSet& attrs) { return attrs.ToString(); }
+
+}  // namespace diffusion

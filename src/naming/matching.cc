@@ -6,7 +6,7 @@
 
 namespace diffusion {
 
-bool OneWayMatch(const AttributeVector& a, const AttributeVector& b) {
+bool OneWayMatchLinear(const AttributeVector& a, const AttributeVector& b) {
   // Direct transcription of Figure 2.
   for (const Attribute& formal : a) {
     if (!formal.IsFormal()) {
@@ -26,11 +26,47 @@ bool OneWayMatch(const AttributeVector& a, const AttributeVector& b) {
   return true;
 }
 
-bool TwoWayMatch(const AttributeVector& a, const AttributeVector& b) {
+bool OneWayMatch(const AttributeSet& a, const AttributeSet& b) {
+  // Merge-scan over the canonical (key-sorted) forms: the cursor into B only
+  // moves forward, so the cost is O(|A| + |B|) plus the length of same-key
+  // runs, instead of the reference implementation's O(|A| * |B|).
+  const AttributeVector& formals = a.items();
+  const AttributeVector& actuals = b.items();
+  size_t j = 0;
+  for (const Attribute& formal : formals) {
+    if (!formal.IsFormal()) {
+      continue;
+    }
+    const AttrKey key = formal.key();
+    while (j < actuals.size() && actuals[j].key() < key) {
+      ++j;
+    }
+    // `j` now sits at the start of B's run for `key` (if any). A's formals
+    // are sorted too, so a later formal with the same key rescans from the
+    // run start — `j` never needs to move backwards.
+    bool matched = false;
+    for (size_t k = j; k < actuals.size() && actuals[k].key() == key; ++k) {
+      if (actuals[k].IsActual() && formal.MatchesActual(actuals[k])) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TwoWayMatchLinear(const AttributeVector& a, const AttributeVector& b) {
+  return OneWayMatchLinear(a, b) && OneWayMatchLinear(b, a);
+}
+
+bool TwoWayMatch(const AttributeSet& a, const AttributeSet& b) {
   return OneWayMatch(a, b) && OneWayMatch(b, a);
 }
 
-bool ExactMatch(const AttributeVector& a, const AttributeVector& b) {
+bool ExactMatchLinear(const AttributeVector& a, const AttributeVector& b) {
   if (a.size() != b.size()) {
     return false;
   }
@@ -52,6 +88,13 @@ bool ExactMatch(const AttributeVector& a, const AttributeVector& b) {
     }
   }
   return true;
+}
+
+bool ExactMatch(const AttributeSet& a, const AttributeSet& b) {
+  // The precomputed order-insensitive hashes reject non-equal sets in O(1);
+  // operator== re-checks structurally on a hash hit (paper §3.1: "hashes of
+  // attributes can be computed and compared rather than complete data").
+  return a == b;
 }
 
 uint64_t HashAttributes(const AttributeVector& attrs) {

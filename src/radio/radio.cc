@@ -14,7 +14,7 @@ Radio::Radio(Simulator* sim, Channel* channel, NodeId id, RadioConfig config)
 
 Radio::~Radio() { channel_->Detach(id_); }
 
-bool Radio::SendMessage(NodeId dst, std::vector<uint8_t> payload) {
+bool Radio::SendMessage(NodeId dst, const std::vector<uint8_t>& payload) {
   if (!alive_) {
     return false;
   }

@@ -54,9 +54,10 @@ class Radio : public ChannelEndpoint {
   void SetReceiveCallback(ReceiveCallback callback) { receive_callback_ = std::move(callback); }
 
   // Sends `payload` to a neighbor (or kBroadcastId). The payload is
-  // fragmented; delivery is best-effort. Returns false only if every
+  // fragmented (copied into fragments before returning, so callers may reuse
+  // the buffer); delivery is best-effort. Returns false only if every
   // fragment was dropped at the queue.
-  bool SendMessage(NodeId dst, std::vector<uint8_t> payload);
+  bool SendMessage(NodeId dst, const std::vector<uint8_t>& payload);
 
   // Node failure injection. A dead radio neither sends nor receives.
   void Kill();

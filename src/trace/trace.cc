@@ -21,6 +21,7 @@ constexpr const char* kKindNames[] = {
     "reinforcement_received",
     "duplicate_suppressed",
     "filter_suppressed",
+    "stale_filter_reinjected",
     "fragment_tx",
     "fragment_rx",
     "collision",

@@ -39,6 +39,8 @@ enum class TraceEventKind : uint8_t {
   kReinforcementReceived,  // value = +1 positive, -1 negative
   kDuplicateSuppressed,    // packet already in the duplicate cache
   kFilterSuppressed,       // an aggregation filter absorbed the message
+  kStaleFilterReinjected,  // FilterApi::SendMessage with a removed handle
+                           // (value = the stale handle)
 
   // Radio substrate. `packet` is the link-layer message id
   // (fragment.src<<32 | fragment.message_seq).

@@ -36,6 +36,9 @@ class ByteWriter {
   const std::vector<uint8_t>& data() const { return data_; }
   std::vector<uint8_t> Take() { return std::move(data_); }
   size_t size() const { return data_.size(); }
+  // Drops the contents but keeps the capacity, so a long-lived writer can be
+  // reused as a scratch encode buffer without reallocating per message.
+  void Clear() { data_.clear(); }
 
  private:
   std::vector<uint8_t> data_;

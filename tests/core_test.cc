@@ -228,7 +228,7 @@ TEST_F(TwoNodeTest, DataFlowsToSubscriber) {
 TEST_F(TwoNodeTest, NoSubscriptionMeansDataStaysLocal) {
   const PublicationHandle pub = source_.Publish(LightPublication());
   sim_.RunUntil(kSecond);
-  EXPECT_FALSE(source_.Send(pub, Reading(1)));
+  EXPECT_EQ(source_.Send(pub, Reading(1)), ApiResult::kNoMatchingInterest);
   EXPECT_EQ(source_.stats().data_originated, 0u);
   EXPECT_EQ(source_.radio().stats().messages_sent, 0u);
 }
@@ -239,7 +239,7 @@ TEST_F(TwoNodeTest, NonMatchingDataNotDelivered) {
   const PublicationHandle pub =
       source_.Publish({Attribute::String(kKeyType, AttrOp::kIs, "audio")});
   sim_.RunUntil(kSecond);
-  EXPECT_FALSE(source_.Send(pub, Reading(1)));
+  EXPECT_EQ(source_.Send(pub, Reading(1)), ApiResult::kNoMatchingInterest);
   sim_.RunUntil(5 * kSecond);
   EXPECT_EQ(received, 0);
 }
@@ -285,7 +285,7 @@ TEST_F(TwoNodeTest, LocalDeliveryOnSameNode) {
   sink_.Subscribe(LightQuery(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = sink_.Publish(LightPublication());
   sim_.RunUntil(100 * kMillisecond);
-  EXPECT_TRUE(sink_.Send(pub, Reading(1)));
+  EXPECT_EQ(sink_.Send(pub, Reading(1)), ApiResult::kOk);
   sim_.RunUntil(200 * kMillisecond);
   EXPECT_EQ(received, 1);
 }

@@ -120,8 +120,8 @@ TEST(FilterChainTest, RemoveFilterDisables) {
   int filter_hits = 0;
   const FilterHandle handle =
       sink.AddFilter(FilterMatch(), 10, [&](Message&, FilterApi&) { ++filter_hits; });
-  EXPECT_TRUE(sink.RemoveFilter(handle));
-  EXPECT_FALSE(sink.RemoveFilter(handle));
+  EXPECT_EQ(sink.RemoveFilter(handle), ApiResult::kOk);
+  EXPECT_EQ(sink.RemoveFilter(handle), ApiResult::kUnknownHandle);
   int delivered = 0;
   sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());

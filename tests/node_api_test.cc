@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <concepts>
+#include <type_traits>
+
 #include "src/core/node.h"
 #include "src/naming/keys.h"
 #include "src/naming/matching.h"
@@ -30,25 +33,39 @@ TEST(NodeApiTest, UnsubscribeUnknownHandleFails) {
   Simulator sim(1);
   auto channel = MakeCliqueChannel(&sim, 1);
   DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  EXPECT_FALSE(node.Unsubscribe(12345));
-  EXPECT_FALSE(node.Unpublish(12345));
-  EXPECT_FALSE(node.RemoveFilter(12345));
-  EXPECT_FALSE(node.Send(12345, Reading(1)));
+  EXPECT_EQ(node.Unsubscribe(SubscriptionHandle{12345}), ApiResult::kUnknownHandle);
+  EXPECT_EQ(node.Unpublish(PublicationHandle{12345}), ApiResult::kUnknownHandle);
+  EXPECT_EQ(node.RemoveFilter(FilterHandle{12345}), ApiResult::kUnknownHandle);
+  EXPECT_EQ(node.Send(PublicationHandle{12345}, Reading(1)), ApiResult::kUnknownHandle);
 }
 
-TEST(NodeApiTest, HandlesAreUniqueAcrossKinds) {
+TEST(NodeApiTest, HandleKindsAreDistinctTypes) {
+  // Since this PR, handles of different kinds are distinct types: passing a
+  // PublicationHandle to Unsubscribe (or mixing kinds in ==) is a compile
+  // error rather than a silent runtime lookup against the wrong table.
+  static_assert(!std::is_invocable_v<decltype(&DiffusionNode::Unsubscribe), DiffusionNode&,
+                                     PublicationHandle>);
+  static_assert(!std::is_invocable_v<decltype(&DiffusionNode::Unsubscribe), DiffusionNode&,
+                                     FilterHandle>);
+  static_assert(
+      !std::is_invocable_v<decltype(&DiffusionNode::Unpublish), DiffusionNode&, SubscriptionHandle>);
+  static_assert(
+      !std::is_invocable_v<decltype(&DiffusionNode::RemoveFilter), DiffusionNode&, PublicationHandle>);
+  static_assert(!std::is_invocable_v<decltype(&DiffusionNode::Send), DiffusionNode&,
+                                     SubscriptionHandle, const AttributeVector&>);
+  static_assert(!std::equality_comparable_with<SubscriptionHandle, PublicationHandle>);
+  static_assert(!std::equality_comparable_with<PublicationHandle, FilterHandle>);
+
+  // Raw handle ids are per-node unique even across kinds.
   Simulator sim(2);
   auto channel = MakeCliqueChannel(&sim, 1);
   DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   const SubscriptionHandle sub = node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
   const FilterHandle filter = node.AddFilter(Query(), 1, [](Message&, FilterApi&) {});
-  EXPECT_NE(sub, pub);
-  EXPECT_NE(pub, filter);
-  EXPECT_NE(sub, filter);
-  // A publication handle cannot be unsubscribed, etc.
-  EXPECT_FALSE(node.Unsubscribe(pub));
-  EXPECT_FALSE(node.Unpublish(sub));
+  EXPECT_NE(sub.value(), pub.value());
+  EXPECT_NE(pub.value(), filter.value());
+  EXPECT_NE(sub.value(), filter.value());
 }
 
 TEST(NodeApiTest, PublishPreservesExplicitClassActual) {

@@ -80,7 +80,7 @@ TEST(OnePhasePullTest, NoExploratoryOrReinforcementTraffic) {
       default:
         break;
     }
-    api.SendMessage(std::move(message), 0);  // invalid handle: falls to core
+    api.SendMessageToNext(std::move(message));  // observer only: pass to core
   });
   int delivered = 0;
   nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
