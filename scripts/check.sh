@@ -24,8 +24,13 @@ for b in build/bench/*; do
   "$b"
 done
 
-# The bench loop above re-emitted BENCH_matching.json (refreshing the
-# checked-in artifact with this machine's numbers); hold it to the
-# diffusion-bench-v1 schema so drift fails here and not in CI.
+# The bench loop above re-emitted BENCH_matching.json and BENCH_fault.json
+# (refreshing the checked-in artifacts); hold them to the diffusion-bench-v1
+# schema so drift fails here and not in CI.
 ./build/bench/matching_hotpath --check=BENCH_matching.json
+./build/bench/fault_recovery --check=BENCH_fault.json
+
+# Local repair must actually work: the crash scenario re-runs and fails if
+# delivery does not resume within 2x the interest refresh period.
+./build/bench/fault_recovery --scenario=crash --out=build/BENCH_fault_crash.json --require-repair
 echo "ALL CHECKS PASSED"

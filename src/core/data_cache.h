@@ -29,6 +29,14 @@ class DataCache {
   // Records `id`; returns true if it was already present (a duplicate).
   bool CheckAndInsert(uint64_t id);
 
+  // Forgets every cached id (a rebooted node's cold cache). Counters and the
+  // insertion-tick clock keep running so stale pre-reboot order records can
+  // never evict post-reboot entries.
+  void Clear() {
+    set_.clear();
+    order_.clear();
+  }
+
   bool Contains(uint64_t id) const { return set_.count(id) > 0; }
   size_t size() const { return set_.size(); }
   size_t capacity() const { return capacity_; }

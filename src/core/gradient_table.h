@@ -104,6 +104,10 @@ class GradientTable {
   // Removes a local entry (unsubscribe). Returns true if found.
   bool RemoveLocal(const AttributeSet& attrs);
 
+  // Drops every entry and gradient without notifying the expiry observer —
+  // a rebooted node's gradients vanish rather than age out.
+  void Clear() { entries_.clear(); }
+
   size_t size() const { return entries_.size(); }
 
   // Iteration support (e.g. for the debugging/monitoring filter).

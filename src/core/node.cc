@@ -299,13 +299,58 @@ void DiffusionNode::RegisterMetrics(MetricsRegistry* registry) {
 }
 
 void DiffusionNode::Kill() {
+  if (!alive_) {
+    return;
+  }
   alive_ = false;
   radio_.Kill();
+  // Cancel everything this node has in the scheduler. Cancellation is lazy
+  // (heap entries are compacted when dead entries outnumber live ones), so a
+  // mid-burst kill releases the cancelled callbacks' captured messages
+  // without an O(n) queue rebuild per event.
+  for (EventId event : pending_transmits_) {
+    sim_->Cancel(event);
+  }
+  pending_transmits_.clear();
+  for (auto& [handle, subscription] : subscriptions_) {
+    if (subscription.refresh_event != kInvalidEventId) {
+      sim_->Cancel(subscription.refresh_event);
+      subscription.refresh_event = kInvalidEventId;
+    }
+    // duration_event stays: a query's lifetime keeps elapsing while the
+    // node is down, exactly as the subscribing application intended.
+  }
 }
 
 void DiffusionNode::Revive() {
+  if (alive_) {
+    return;
+  }
   alive_ = true;
   radio_.Revive();
+  for (auto& [handle, subscription] : subscriptions_) {
+    if (!subscription.local_only && subscription.refresh_event == kInvalidEventId) {
+      ScheduleRefresh(handle);
+    }
+  }
+}
+
+void DiffusionNode::Reboot() {
+  Kill();  // no-op when already dead; otherwise cancels pending events
+  gradients_.Clear();
+  seen_packets_.Clear();
+  neighbors_.clear();
+  alive_ = true;
+  radio_.Revive();
+  // The application's boot path re-installs its tasks: every flooding
+  // subscription re-announces its interest immediately and falls back onto
+  // the normal refresh cadence.
+  for (auto& [handle, subscription] : subscriptions_) {
+    if (!subscription.local_only) {
+      FloodInterest(subscription);
+      ScheduleRefresh(handle);
+    }
+  }
 }
 
 void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& bytes) {

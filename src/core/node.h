@@ -155,9 +155,29 @@ class DiffusionNode {
   // must outlive collections from the registry.
   void RegisterMetrics(MetricsRegistry* registry);
 
-  // Node failure injection.
+  // ---- node failure injection (see src/fault) ----
+
+  // Stops the node: the radio goes dark and every event the node has pending
+  // (jittered forwards, interest refreshes) is cancelled through the
+  // scheduler's lazy-compaction cancel path, so a killed node's captured
+  // state is released rather than parked until its timers would have fired.
   void Kill();
+
+  // Brings a killed node back with *warm* state (gradients, caches and
+  // neighbors as they were): a transient outage, not a restart. Interest
+  // refreshes resume on their normal period.
   void Revive();
+
+  // Brings the node back *cold*, as after a power-cycle: gradients, the
+  // duplicate cache, neighbor memory and any in-flight radio state are
+  // dropped, then every application subscription re-floods its interest and
+  // re-draws gradients from scratch. Publications, filters and local
+  // subscriptions survive (they are application state, re-installed by the
+  // app's boot path). Origin sequence numbers keep counting up — real
+  // deployments derive them from a clock, and reusing them would make every
+  // other node's duplicate cache suppress the rebooted node's first packets.
+  void Reboot();
+
   bool alive() const { return alive_; }
 
  private:

@@ -1,0 +1,160 @@
+#include "src/fault/fault_injector.h"
+
+#include <limits>
+
+namespace diffusion {
+
+void FaultInjector::AddNode(DiffusionNode* node) { nodes_[node->id()] = node; }
+
+void FaultInjector::Schedule(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    sim_->At(event.at, [this, event] { Execute(event); });
+  }
+}
+
+void FaultInjector::Crash(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || dead_.count(id) > 0) {
+    return;
+  }
+  // Kill first so pending scheduler events are cancelled, then detach so
+  // in-flight receptions are scrubbed and the node stops appearing to the
+  // channel at all (no interference from a dead radio).
+  it->second->Kill();
+  channel_->Detach(id);
+  dead_.insert(id);
+}
+
+void FaultInjector::Reboot(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return;
+  }
+  if (dead_.count(id) > 0) {
+    channel_->Attach(&it->second->radio());
+    dead_.erase(id);
+  }
+  // Reboot also cold-restarts a node that never crashed (a power-cycle).
+  it->second->Reboot();
+}
+
+NodeId FaultInjector::PickHottestRelay(const std::vector<NodeId>& exclude) const {
+  NodeId best = kBroadcastId;
+  uint64_t best_forwarded = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (dead_.count(id) > 0) {
+      continue;
+    }
+    bool excluded = false;
+    for (NodeId skip : exclude) {
+      if (skip == id) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) {
+      continue;
+    }
+    const uint64_t forwarded = node->stats().messages_forwarded;
+    // Strict > plus ascending map order: ties resolve to the lowest id.
+    if (best == kBroadcastId || forwarded > best_forwarded) {
+      best = id;
+      best_forwarded = forwarded;
+    }
+  }
+  return best;
+}
+
+void FaultInjector::Execute(const FaultEvent& event) {
+  ExecutedFault record;
+  record.at = sim_->now();
+  record.kind = event.kind;
+
+  switch (event.kind) {
+    case FaultEventKind::kCrash:
+      record.node = nodes_.count(event.node) > 0 ? event.node : kBroadcastId;
+      Crash(event.node);
+      break;
+    case FaultEventKind::kReboot:
+      record.node = nodes_.count(event.node) > 0 ? event.node : kBroadcastId;
+      Reboot(event.node);
+      break;
+    case FaultEventKind::kCrashHottestRelay:
+      record.node = PickHottestRelay(event.exclude);
+      if (record.node != kBroadcastId) {
+        Crash(record.node);
+      }
+      break;
+    case FaultEventKind::kLinkDegrade:
+      record.node = event.from;
+      record.peer = event.to;
+      if (overlay_ != nullptr) {
+        overlay_->DegradeLink(event.from, event.to, event.delivery);
+        if (event.symmetric) {
+          overlay_->DegradeLink(event.to, event.from, event.delivery);
+        }
+      }
+      break;
+    case FaultEventKind::kLinkBlackout:
+      record.node = event.from;
+      record.peer = event.to;
+      if (overlay_ != nullptr) {
+        overlay_->BlackoutLink(event.from, event.to);
+        if (event.symmetric) {
+          overlay_->BlackoutLink(event.to, event.from);
+        }
+      }
+      break;
+    case FaultEventKind::kLinkRestore:
+      record.node = event.from;
+      record.peer = event.to;
+      if (overlay_ != nullptr) {
+        overlay_->RestoreLink(event.from, event.to);
+        if (event.symmetric) {
+          overlay_->RestoreLink(event.to, event.from);
+        }
+      }
+      break;
+    case FaultEventKind::kNodeDegrade:
+      record.node = event.node;
+      if (overlay_ != nullptr) {
+        overlay_->DegradeNode(event.node, event.delivery);
+      }
+      break;
+    case FaultEventKind::kPartition:
+      if (overlay_ != nullptr) {
+        overlay_->Partition(event.group_a, event.group_b);
+      }
+      break;
+    case FaultEventKind::kHeal:
+      if (overlay_ != nullptr) {
+        overlay_->Heal();
+      }
+      break;
+  }
+
+  executed_.push_back(record);
+  if (sim_->tracing()) {
+    sim_->Trace(TraceEvent{record.at, TraceEventKind::kFaultInjected, record.node, record.peer,
+                           0, static_cast<int64_t>(record.kind)});
+  }
+}
+
+size_t FaultInjector::CountStaleGradients() const {
+  size_t stale = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (dead_.count(id) > 0) {
+      continue;
+    }
+    for (const InterestEntry& entry : node->gradients().entries()) {
+      for (const Gradient& gradient : entry.gradients) {
+        if (dead_.count(gradient.neighbor) > 0) {
+          ++stale;
+        }
+      }
+    }
+  }
+  return stale;
+}
+
+}  // namespace diffusion

@@ -1,0 +1,93 @@
+// Deterministic fault plans.
+//
+// The paper's testbed was failure-prone by construction — hidden terminals,
+// no ARQ, nodes that dropped off mid-experiment (§6.4) — yet a simulator only
+// exercises the protocol's repair machinery if something actually breaks. A
+// FaultPlan is a time-ordered list of fault events (node crash/reboot, link
+// degradation and blackout, network partition and heal) parsed from a small
+// JSON spec. FaultInjector executes the plan through the ordinary
+// EventScheduler, so a faulted run is exactly as reproducible per seed as a
+// healthy one.
+//
+// Spec format ("diffusion-fault-plan-v1", see docs/FAULT_INJECTION.md):
+//
+//   {
+//     "schema": "diffusion-fault-plan-v1",
+//     "events": [
+//       {"at_ms": 240000, "kind": "crash", "node": 17},
+//       {"at_ms": 240000, "kind": "crash_hottest_relay", "exclude": [28, 25, 20]},
+//       {"at_ms": 420000, "kind": "reboot", "node": 17},
+//       {"at_ms": 240000, "kind": "link_degrade", "from": 20, "to": 17,
+//        "delivery": 0.25, "symmetric": true},
+//       {"at_ms": 240000, "kind": "node_degrade", "node": 20, "delivery": 0.25},
+//       {"at_ms": 240000, "kind": "link_blackout", "from": 20, "to": 17},
+//       {"at_ms": 420000, "kind": "link_restore", "from": 20, "to": 17},
+//       {"at_ms": 240000, "kind": "partition",
+//        "group_a": [11, 13, 16, 22, 25, 20], "group_b": [17, 37, 18, 21, 24, 28, 33, 39]},
+//       {"at_ms": 420000, "kind": "heal"}
+//     ]
+//   }
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/radio/position.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+
+inline constexpr char kFaultPlanSchema[] = "diffusion-fault-plan-v1";
+
+enum class FaultEventKind : uint8_t {
+  kCrash = 0,          // node dies (DiffusionNode::Kill + channel detach)
+  kReboot,             // node returns cold (DiffusionNode::Reboot + reattach)
+  kCrashHottestRelay,  // kill the alive node with the most forwarded
+                       // messages, excluding `exclude` (sinks, sources, cut
+                       // vertices) — "kill whatever the reinforced path runs
+                       // through" without hard-coding a topology-specific id
+  kLinkDegrade,        // from->to delivery probability capped at `delivery`
+  kLinkBlackout,       // from->to severed entirely
+  kLinkRestore,        // remove from->to degrade/blackout overrides
+  kNodeDegrade,        // every link touching `node` capped at `delivery`
+  kPartition,          // all group_a <-> group_b links severed
+  kHeal,               // clear every link-level override (not node state)
+};
+
+// Stable snake_case name ("crash", "link_degrade", ...) used by the JSON spec.
+const char* FaultEventKindName(FaultEventKind kind);
+bool FaultEventKindFromName(const std::string& name, FaultEventKind* kind);
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultEventKind kind = FaultEventKind::kCrash;
+  NodeId node = kBroadcastId;  // crash / reboot / node_degrade
+  NodeId from = kBroadcastId;  // link events
+  NodeId to = kBroadcastId;
+  bool symmetric = true;       // link events apply to both directions
+  double delivery = 0.0;       // degrade cap
+  std::vector<NodeId> exclude;          // crash_hottest_relay
+  std::vector<NodeId> group_a, group_b;  // partition
+};
+
+struct FaultPlan {
+  // Sorted by `at`; ties keep spec order (and execute in that order).
+  std::vector<FaultEvent> events;
+};
+
+// Parses the diffusion-fault-plan-v1 spec. On failure returns nullopt and,
+// when `error` is non-null, stores a one-line diagnosis.
+std::optional<FaultPlan> ParseFaultPlan(const std::string& json, std::string* error);
+
+// Reads `path` and parses it.
+std::optional<FaultPlan> LoadFaultPlan(const std::string& path, std::string* error);
+
+// Canonical JSON for `plan`; round-trips through ParseFaultPlan.
+std::string FaultPlanToJson(const FaultPlan& plan);
+
+}  // namespace diffusion
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

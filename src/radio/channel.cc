@@ -9,10 +9,38 @@ namespace diffusion {
 Channel::Channel(Simulator* sim, std::unique_ptr<PropagationModel> propagation)
     : sim_(sim), propagation_(std::move(propagation)), rng_(sim->rng().Fork()) {}
 
-void Channel::Attach(ChannelEndpoint* endpoint) { endpoints_[endpoint->node_id()] = endpoint; }
+ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
+  ChannelStats delta;
+  delta.transmissions = a.transmissions - b.transmissions;
+  delta.receptions_attempted = a.receptions_attempted - b.receptions_attempted;
+  delta.collisions = a.collisions - b.collisions;
+  delta.propagation_losses = a.propagation_losses - b.propagation_losses;
+  delta.deliveries = a.deliveries - b.deliveries;
+  return delta;
+}
+
+void Channel::Attach(ChannelEndpoint* endpoint) {
+  const NodeId node = endpoint->node_id();
+  endpoints_[node] = endpoint;
+  // Restore counters parked by a previous Detach (a reattach after a
+  // blackout), and remember their value now so NodeStatsSinceAttach can
+  // report this attachment's traffic free of pre-fault history.
+  auto parked = parked_stats_.find(node);
+  if (parked != parked_stats_.end()) {
+    node_stats_[node] = parked->second;
+    parked_stats_.erase(parked);
+  }
+  attach_base_[node] = node_stats_[node];
+}
 
 void Channel::Detach(NodeId node) {
   endpoints_.erase(node);
+  auto stats_it = node_stats_.find(node);
+  if (stats_it != node_stats_.end()) {
+    parked_stats_[node] = stats_it->second;
+    node_stats_.erase(stats_it);
+  }
+  attach_base_.erase(node);
   // Cancel (rather than erase) the node's receptions inside still-active
   // transmissions: other receivers' ongoing_ entries index into the same
   // reception vectors, so positions must stay stable.
@@ -40,6 +68,24 @@ void Channel::RegisterMetrics(MetricsRegistry* registry) const {
                                   [this] { return static_cast<double>(stats_.deliveries); });
 }
 
+ChannelStats Channel::NodeStats(NodeId node) const {
+  auto live = node_stats_.find(node);
+  if (live != node_stats_.end()) {
+    return live->second;
+  }
+  auto parked = parked_stats_.find(node);
+  return parked != parked_stats_.end() ? parked->second : ChannelStats{};
+}
+
+ChannelStats Channel::NodeStatsSinceAttach(NodeId node) const {
+  auto base = attach_base_.find(node);
+  if (base == attach_base_.end()) {
+    // Not currently attached: this attachment contributed nothing yet.
+    return ChannelStats{};
+  }
+  return NodeStats(node) - base->second;
+}
+
 bool Channel::CarrierBusyAt(NodeId node) const {
   for (const auto& [id, tx] : active_) {
     if (tx.sender == node || propagation_->Reaches(tx.sender, node)) {
@@ -52,6 +98,7 @@ bool Channel::CarrierBusyAt(NodeId node) const {
 void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
   const uint64_t tx_id = next_tx_id_++;
   ++stats_.transmissions;
+  ++node_stats_[sender].transmissions;
 
   ActiveTx tx;
   tx.sender = sender;
@@ -73,6 +120,7 @@ void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
       continue;
     }
     ++stats_.receptions_attempted;
+    ++node_stats_[node].receptions_attempted;
     bool corrupted = endpoint->IsTransmitting();
     // Overlap with anything already in the air at this receiver corrupts
     // both frames (no capture).
@@ -129,6 +177,7 @@ void Channel::FinishTransmit(uint64_t tx_id) {
     }
     if (reception.corrupted) {
       ++stats_.collisions;
+      ++node_stats_[reception.receiver].collisions;
       if (sim_->tracing()) {
         sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kCollision, reception.receiver,
                                tx.sender, link_packet, 0});
@@ -139,6 +188,7 @@ void Channel::FinishTransmit(uint64_t tx_id) {
         propagation_->DeliveryProbability(tx.sender, reception.receiver, tx.start);
     if (!rng_.NextBool(probability)) {
       ++stats_.propagation_losses;
+      ++node_stats_[reception.receiver].propagation_losses;
       if (sim_->tracing()) {
         sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kPropagationLoss, reception.receiver,
                                tx.sender, link_packet, 0});
@@ -146,6 +196,7 @@ void Channel::FinishTransmit(uint64_t tx_id) {
       continue;
     }
     ++stats_.deliveries;
+    ++node_stats_[reception.receiver].deliveries;
     endpoint_it->second->OnFrameDelivered(tx.fragment, tx.duration);
   }
 }

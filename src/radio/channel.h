@@ -44,6 +44,9 @@ struct ChannelStats {
   uint64_t deliveries = 0;
 };
 
+// `a - b`, field-wise. Used for per-endpoint deltas across a reattach.
+ChannelStats operator-(const ChannelStats& a, const ChannelStats& b);
+
 class Channel {
  public:
   Channel(Simulator* sim, std::unique_ptr<PropagationModel> propagation);
@@ -53,7 +56,9 @@ class Channel {
   // Detaches `node` and scrubs its in-flight receptions: transmissions still
   // on the air stop targeting it, so a node detached mid-flight neither
   // receives the frame nor counts toward collision/loss statistics — even if
-  // a new endpoint re-attaches under the same id before they resolve.
+  // a new endpoint re-attaches under the same id before they resolve. The
+  // node's per-endpoint counters are parked and restored by a later Attach
+  // under the same id (see NodeStats / NodeStatsSinceAttach).
   void Detach(NodeId node);
 
   // True if any in-flight transmission puts energy at `node` (including the
@@ -67,6 +72,16 @@ class Channel {
   PropagationModel& propagation() { return *propagation_; }
   const ChannelStats& stats() const { return stats_; }
   Simulator& simulator() { return *sim_; }
+
+  // Per-endpoint accounting: `transmissions` counts `node` as sender, the
+  // reception fields count it as receiver. Counters survive a Detach/Attach
+  // cycle (Detach parks them, Attach restores them), so a node that blacks
+  // out and returns keeps lifetime-accurate totals. Zeros for unknown nodes.
+  ChannelStats NodeStats(NodeId node) const;
+
+  // The same counters measured from the node's most recent Attach only —
+  // what recovery metrics want after a blackout, free of pre-fault history.
+  ChannelStats NodeStatsSinceAttach(NodeId node) const;
 
   // Registers the channel-wide counters as global metrics ("channel.*").
   // The channel must outlive collections from `registry`.
@@ -99,6 +114,12 @@ class Channel {
   // receiver -> list of (tx id, reception index) currently in the air at it
   std::unordered_map<NodeId, std::vector<std::pair<uint64_t, size_t>>> ongoing_;
   ChannelStats stats_;
+  // Per-endpoint counters for currently attached nodes, plus the parked
+  // snapshots of detached ones and each node's counter value at its latest
+  // Attach (the NodeStatsSinceAttach baseline).
+  std::unordered_map<NodeId, ChannelStats> node_stats_;
+  std::unordered_map<NodeId, ChannelStats> parked_stats_;
+  std::unordered_map<NodeId, ChannelStats> attach_base_;
 };
 
 }  // namespace diffusion

@@ -62,6 +62,9 @@ class Reassembler {
   // Drops partial messages older than the timeout.
   void Purge(SimTime now);
 
+  // Drops every partial message (a dead radio keeps no reassembly state).
+  void Clear() { pending_.clear(); }
+
   size_t pending() const { return pending_.size(); }
 
  private:

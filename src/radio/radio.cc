@@ -36,6 +36,9 @@ bool Radio::SendMessage(NodeId dst, const std::vector<uint8_t>& payload) {
 void Radio::Kill() {
   alive_ = false;
   mac_.Reset();
+  // Partial reassemblies die with the node: a frame's surviving fragments
+  // must not complete a message across an outage.
+  reassembler_.Clear();
   if (sim_->tracing()) {
     sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kEnergyState, id_, kBroadcastId, 0,
                            /*killed=*/0});

@@ -28,6 +28,7 @@ constexpr const char* kKindNames[] = {
     "propagation_loss",
     "mac_drop",
     "energy_state",
+    "fault_injected",
 };
 constexpr size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
 

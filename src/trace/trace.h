@@ -50,6 +50,11 @@ enum class TraceEventKind : uint8_t {
   kPropagationLoss,  // reception at this node lost to link quality
   kMacDrop,          // value = 0 queue overflow, 1 persistent busy channel
   kEnergyState,      // value = 0 killed, 1 revived, 2 tx deferred to wake
+
+  // Fault injection (src/fault). `node` is the primary target (or the `from`
+  // end of a link event), `peer` the secondary target (`to` end), and `value`
+  // the FaultEventKind that executed.
+  kFaultInjected,
 };
 
 // Stable snake_case name ("interest_sent", ...) used by the JSONL export.
