@@ -16,8 +16,10 @@
 // counting cuts delivered duplicates further but pays its window in latency.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_flags.h"
+#include "bench/replicate.h"
 #include "src/testbed/experiments.h"
 #include "src/testbed/harness.h"
 
@@ -34,36 +36,49 @@ int Main(int argc, char** argv) {
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 15));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 6000));
   const int window_ms = static_cast<int>(bench::IntFlag(argc, argv, "window-ms", 2000));
+  const unsigned jobs = bench::JobsFlag(argc, argv);
 
   const Strategy strategies[] = {
       {"none", AggregationStrategy::kNone},
       {"suppression", AggregationStrategy::kSuppression},
       {"counting", AggregationStrategy::kCounting},
   };
+  const size_t strategy_count = sizeof(strategies) / sizeof(strategies[0]);
+
+  // One replicate per (strategy, run), fanned out --jobs at a time; the
+  // aggregation below walks results in this order, so the table is
+  // independent of --jobs.
+  const std::vector<Fig8Result> results = bench::RunReplicates<Fig8Result>(
+      jobs, strategy_count * static_cast<size_t>(runs), /*trace_out=*/"", nullptr,
+      [&strategies, runs, minutes, window_ms, base_seed](size_t i, TraceSink* sink) {
+        Fig8Params params;
+        params.sources = 4;
+        params.use_strategy = true;
+        params.strategy = strategies[i / static_cast<size_t>(runs)].strategy;
+        params.counting_window = static_cast<SimDuration>(window_ms) * kMillisecond;
+        params.duration = static_cast<SimDuration>(minutes) * kMinute;
+        params.seed = base_seed + i % static_cast<size_t>(runs);
+        params.trace_sink = sink;
+        return RunFig8(params);
+      });
 
   std::printf("=== Aggregation strategies on the Figure-8 workload (4 sources,\n");
-  std::printf("    %d runs x %d min, counting window %d ms) ===\n\n", runs, minutes, window_ms);
+  std::printf("    %d runs x %d min, counting window %d ms, %u jobs) ===\n\n", runs, minutes,
+              window_ms, jobs);
   std::printf("%-13s  %-18s  %-16s  %-18s\n", "strategy", "bytes/event", "delivery %",
               "first-copy latency");
 
-  for (const Strategy& strategy : strategies) {
+  for (size_t s = 0; s < strategy_count; ++s) {
     RunningStat bytes;
     RunningStat delivery;
     RunningStat latency;
     for (int run = 0; run < runs; ++run) {
-      Fig8Params params;
-      params.sources = 4;
-      params.use_strategy = true;
-      params.strategy = strategy.strategy;
-      params.counting_window = static_cast<SimDuration>(window_ms) * kMillisecond;
-      params.duration = static_cast<SimDuration>(minutes) * kMinute;
-      params.seed = base_seed + static_cast<uint64_t>(run);
-      const Fig8Result result = RunFig8(params);
+      const Fig8Result& result = results[s * static_cast<size_t>(runs) + static_cast<size_t>(run)];
       bytes.Add(result.bytes_per_event);
       delivery.Add(result.delivery_rate * 100.0);
       latency.Add(result.mean_latency_s);
     }
-    std::printf("%-13s  %-18s  %-16s  %15.2f s\n", strategy.label,
+    std::printf("%-13s  %-18s  %-16s  %15.2f s\n", strategies[s].label,
                 FormatWithCI(bytes, 0).c_str(), FormatWithCI(delivery, 1).c_str(),
                 latency.mean());
   }

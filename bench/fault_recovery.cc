@@ -30,6 +30,7 @@
 
 #include "bench/bench_flags.h"
 #include "bench/bench_json.h"
+#include "bench/replicate.h"
 #include "src/fault/scenarios.h"
 
 namespace diffusion {
@@ -75,6 +76,7 @@ int Main(int argc, char** argv) {
   const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
   const bool require_repair = bench::BoolFlag(argc, argv, "require-repair");
   const bool print_plan = bench::BoolFlag(argc, argv, "print-plan");
+  const unsigned jobs = bench::JobsFlag(argc, argv);
 
   std::vector<FaultScenario> scenarios;
   if (scenario_flag == "all") {
@@ -108,26 +110,41 @@ int Main(int argc, char** argv) {
   std::vector<bench::BenchResult> results;
   bool all_repaired_in_bound = true;
 
-  if (!print_plan) {
-    std::printf("=== Fault recovery (seed %llu, %d source%s) ===\n\n",
-                static_cast<unsigned long long>(seed), sources, sources == 1 ? "" : "s");
-  }
-  for (size_t i = 0; i < scenarios.size(); ++i) {
-    FaultScenarioParams params;
-    params.scenario = scenarios[i];
-    params.seed = seed;
-    params.sources = sources;
-    params.plan_json = plan_json;
-    // Trace the first scenario only (one recorder per file).
-    params.trace_out = i == 0 ? trace_out : "";
-
-    if (print_plan) {
+  if (print_plan) {
+    for (FaultScenario scenario : scenarios) {
+      FaultScenarioParams params;
+      params.scenario = scenario;
+      params.seed = seed;
+      params.sources = sources;
+      params.plan_json = plan_json;
       std::printf("%s", FaultPlanToJson(BuiltinScenarioPlan(params)).c_str());
-      continue;
     }
+    return 0;
+  }
 
-    const char* name = FaultScenarioName(params.scenario);
-    const FaultScenarioResult result = RunFaultScenario(params);
+  std::printf("=== Fault recovery (seed %llu, %d source%s, %u jobs) ===\n\n",
+              static_cast<unsigned long long>(seed), sources, sources == 1 ? "" : "s", jobs);
+
+  // Scenarios are independent simulations; fan them out --jobs at a time.
+  // Results are consumed in scenario order below, so BENCH_fault.json stays
+  // byte-identical per (seed, plan) at every --jobs. Only the first scenario
+  // traces (one recorder per file).
+  const std::vector<FaultScenarioResult> scenario_results =
+      bench::RunReplicates<FaultScenarioResult>(
+          jobs, scenarios.size(), trace_out, nullptr,
+          [&scenarios, seed, sources, &plan_json](size_t i, TraceSink* sink) {
+            FaultScenarioParams params;
+            params.scenario = scenarios[i];
+            params.seed = seed;
+            params.sources = sources;
+            params.plan_json = plan_json;
+            params.trace_sink = sink;
+            return RunFaultScenario(params);
+          });
+
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const char* name = FaultScenarioName(scenarios[i]);
+    const FaultScenarioResult& result = scenario_results[i];
     AppendScenarioResults(name, result, &results);
 
     const bool repaired = result.time_to_repair_s >= 0.0;
@@ -142,9 +159,6 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.reinforcements_after_fault),
                 static_cast<unsigned long long>(result.negative_reinforcements_after_fault),
                 in_bound ? "" : "  [MISSED BOUND]");
-  }
-  if (print_plan) {
-    return 0;
   }
 
   std::printf("\nShape to check: every scenario resumes delivery within 2x the interest\n");

@@ -8,14 +8,21 @@
 // repetitions of --minutes-long measurement windows, with 95% CIs — the
 // paper used five 30-minute experiments.
 //
+// Replicates are independent (seed, params) simulations and run --jobs at a
+// time (see bench/replicate.h); every output — the table, --bench-json and
+// the merged --trace-out — is byte-identical regardless of --jobs.
+//
 // Expected shape (paper): with suppression the traffic is roughly constant
 // in the source count; without it traffic climbs steeply; suppression saves
 // up to ~42% at four sources. The analytic model brackets the points at
 // 990 B/event (ideal aggregation) to 3289 B/event (4 sources, none).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_flags.h"
+#include "bench/bench_json.h"
+#include "bench/replicate.h"
 #include "src/testbed/experiments.h"
 #include "src/testbed/harness.h"
 #include "src/testbed/traffic_model.h"
@@ -23,38 +30,64 @@
 namespace diffusion {
 namespace {
 
+// One replicate of the sweep: a (sources, run, suppression) cell.
+struct Cell {
+  int sources;
+  int run;
+  bool suppression;
+};
+
 int Main(int argc, char** argv) {
   const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 5));
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 30));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 1000));
+  const unsigned jobs = bench::JobsFlag(argc, argv);
   // Flight recorder: trace the first (1-source, with-suppression) run only —
   // one full trace is plenty and tracing every sweep point would dwarf the
   // results in I/O.
   const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
+  // Deterministic diffusion-bench-v1 export (no wall-clock values): the same
+  // seeds produce a byte-identical file at every --jobs.
+  const std::string bench_json_out = bench::StringFlag(argc, argv, "bench-json");
+
+  // Flatten the sweep into the serial loop's execution order; aggregation
+  // below consumes results in this (seed) order, never completion order.
+  std::vector<Cell> cells;
+  for (int sources = 1; sources <= 4; ++sources) {
+    for (int run = 0; run < runs; ++run) {
+      cells.push_back({sources, run, true});
+      cells.push_back({sources, run, false});
+    }
+  }
+
+  const std::vector<Fig8Result> results = bench::RunReplicates<Fig8Result>(
+      jobs, cells.size(), trace_out,
+      [&cells](size_t i) {
+        return cells[i].sources == 1 && cells[i].run == 0 && cells[i].suppression;
+      },
+      [&cells, minutes, base_seed](size_t i, TraceSink* sink) {
+        const Cell& cell = cells[i];
+        Fig8Params params;
+        params.sources = cell.sources;
+        params.duration = static_cast<SimDuration>(minutes) * kMinute;
+        params.seed = base_seed + static_cast<uint64_t>(cell.run);
+        params.suppression = cell.suppression;
+        params.trace_sink = sink;
+        return RunFig8(params);
+      });
 
   RunningStat bytes_with[5];
   RunningStat bytes_without[5];
   RunningStat delivery_with[5];
   RunningStat delivery_without[5];
-
-  for (int sources = 1; sources <= 4; ++sources) {
-    for (int run = 0; run < runs; ++run) {
-      Fig8Params params;
-      params.sources = sources;
-      params.duration = static_cast<SimDuration>(minutes) * kMinute;
-      params.seed = base_seed + static_cast<uint64_t>(run);
-
-      params.suppression = true;
-      params.trace_out = (sources == 1 && run == 0) ? trace_out : "";
-      const Fig8Result with = RunFig8(params);
-      params.trace_out.clear();
-      bytes_with[sources].Add(with.bytes_per_event);
-      delivery_with[sources].Add(with.delivery_rate * 100.0);
-
-      params.suppression = false;
-      const Fig8Result without = RunFig8(params);
-      bytes_without[sources].Add(without.bytes_per_event);
-      delivery_without[sources].Add(without.delivery_rate * 100.0);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (cell.suppression) {
+      bytes_with[cell.sources].Add(results[i].bytes_per_event);
+      delivery_with[cell.sources].Add(results[i].delivery_rate * 100.0);
+    } else {
+      bytes_without[cell.sources].Add(results[i].bytes_per_event);
+      delivery_without[cell.sources].Add(results[i].delivery_rate * 100.0);
     }
   }
 
@@ -62,12 +95,13 @@ int Main(int argc, char** argv) {
     std::printf("traced the 1-source with-suppression run to %s\n\n", trace_out.c_str());
   }
   std::printf("=== Figure 8: in-network aggregation on the 14-node testbed ===\n");
-  std::printf("(%d runs x %d min per point; bytes sent by all diffusion modules per distinct\n",
-              runs, minutes);
-  std::printf(" event received at the sink; mean ± 95%% CI)\n\n");
+  std::printf("(%d runs x %d min per point, %u jobs; bytes sent by all diffusion modules per\n",
+              runs, minutes, jobs);
+  std::printf(" distinct event received at the sink; mean ± 95%% CI)\n\n");
   std::printf("%-8s  %-20s  %-20s  %-8s  %-12s  %-12s\n", "sources", "with suppression",
               "without suppression", "savings", "model(ideal)", "model(none)");
   const TrafficModelParams model;
+  std::vector<bench::BenchResult> bench_results;
   for (int sources = 1; sources <= 4; ++sources) {
     const double savings =
         bytes_without[sources].mean() > 0.0
@@ -78,6 +112,20 @@ int Main(int argc, char** argv) {
                 FormatWithCI(bytes_without[sources], 0).c_str(), savings * 100.0,
                 ModelBytesPerEvent(model, sources, AggregationModel::kIdeal),
                 ModelBytesPerEvent(model, sources, AggregationModel::kNone));
+    const std::string point = std::to_string(sources) + "_sources";
+    bench_results.push_back(
+        {"bytes_per_event_with_suppression_" + point, "B/event", bytes_with[sources].mean()});
+    bench_results.push_back({"bytes_per_event_with_suppression_" + point + "_ci95", "B/event",
+                             bytes_with[sources].confidence95()});
+    bench_results.push_back(
+        {"bytes_per_event_without_suppression_" + point, "B/event", bytes_without[sources].mean()});
+    bench_results.push_back({"bytes_per_event_without_suppression_" + point + "_ci95", "B/event",
+                             bytes_without[sources].confidence95()});
+    bench_results.push_back({"savings_" + point, "%", savings * 100.0});
+    bench_results.push_back(
+        {"delivery_with_suppression_" + point, "%", delivery_with[sources].mean()});
+    bench_results.push_back(
+        {"delivery_without_suppression_" + point, "%", delivery_without[sources].mean()});
   }
 
   std::printf("\nEvent delivery %% (the paper reports 55-80%% under its congested MAC):\n");
@@ -85,6 +133,12 @@ int Main(int argc, char** argv) {
   for (int sources = 1; sources <= 4; ++sources) {
     std::printf("%-8d  %-20s  %-20s\n", sources, FormatWithCI(delivery_with[sources], 1).c_str(),
                 FormatWithCI(delivery_without[sources], 1).c_str());
+  }
+  if (!bench_json_out.empty()) {
+    if (!bench::WriteBenchJson(bench_json_out, "fig8_aggregation", bench_results)) {
+      return 1;
+    }
+    std::printf("\nwrote %s\n", bench_json_out.c_str());
   }
   return 0;
 }

@@ -10,71 +10,115 @@
 // hops). Each point: mean of --runs x --minutes-long windows with 95% CI —
 // the paper used three 20-minute experiments.
 //
+// Replicates run --jobs at a time (bench/replicate.h); the table, the
+// --bench-json file and the merged --trace-out are byte-identical for every
+// --jobs value.
+//
 // Expected shape (paper): the nested query delivers more than the flat query
 // everywhere; both fall off as sensors are added, the flat query faster; the
 // flat query also moves substantially more bytes.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_flags.h"
+#include "bench/bench_json.h"
+#include "bench/replicate.h"
 #include "src/testbed/experiments.h"
 #include "src/testbed/harness.h"
 
 namespace diffusion {
 namespace {
 
+// One replicate of the sweep: a (lights, run, nested-or-flat) cell.
+struct Cell {
+  int lights;
+  int run;
+  bool nested;
+};
+
 int Main(int argc, char** argv) {
   const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 3));
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 20));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 2000));
   const bool triggered = bench::BoolFlag(argc, argv, "triggered");
+  const unsigned jobs = bench::JobsFlag(argc, argv);
   // Flight recorder: trace the first nested run only.
   const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
+  // Deterministic diffusion-bench-v1 export; byte-identical at every --jobs.
+  const std::string bench_json_out = bench::StringFlag(argc, argv, "bench-json");
 
   const QueryMode flat_mode = triggered ? QueryMode::kFlatTriggered : QueryMode::kFlat;
   const int light_counts[] = {1, 2, 4};
 
+  std::vector<Cell> cells;
+  for (int lights : light_counts) {
+    for (int run = 0; run < runs; ++run) {
+      cells.push_back({lights, run, true});
+      cells.push_back({lights, run, false});
+    }
+  }
+
+  const std::vector<Fig9Result> results = bench::RunReplicates<Fig9Result>(
+      jobs, cells.size(), trace_out,
+      [](size_t i) { return i == 0; },  // cells[0] is the first nested run
+      [&cells, minutes, base_seed, flat_mode](size_t i, TraceSink* sink) {
+        const Cell& cell = cells[i];
+        Fig9Params params;
+        params.lights = cell.lights;
+        params.duration = static_cast<SimDuration>(minutes) * kMinute;
+        params.seed = base_seed + static_cast<uint64_t>(cell.run);
+        params.mode = cell.nested ? QueryMode::kNested : flat_mode;
+        params.trace_sink = sink;
+        return RunFig9(params);
+      });
+
   if (!trace_out.empty()) {
-    std::printf("writing JSONL trace of the first nested run to %s\n", trace_out.c_str());
+    std::printf("wrote JSONL trace of the first nested run to %s\n", trace_out.c_str());
   }
 
   std::printf("=== Figure 9: %% of light-change events delivering audio to the user ===\n");
-  std::printf("(%d runs x %d min per point; mean ± 95%% CI; flat mode: %s)\n\n", runs, minutes,
-              triggered ? "per-event triggered queries" : "one-level data correlation");
+  std::printf("(%d runs x %d min per point, %u jobs; mean ± 95%% CI; flat mode: %s)\n\n", runs,
+              minutes, jobs, triggered ? "per-event triggered queries" : "one-level data correlation");
   std::printf("%-8s  %-20s  %-20s  %-16s  %-16s\n", "sensors", "nested %", "flat %",
               "nested bytes", "flat bytes");
 
+  std::vector<bench::BenchResult> bench_results;
+  size_t index = 0;
   for (int lights : light_counts) {
     RunningStat nested_pct;
     RunningStat flat_pct;
     RunningStat nested_bytes;
     RunningStat flat_bytes;
     for (int run = 0; run < runs; ++run) {
-      Fig9Params params;
-      params.lights = lights;
-      params.duration = static_cast<SimDuration>(minutes) * kMinute;
-      params.seed = base_seed + static_cast<uint64_t>(run);
-
-      params.mode = QueryMode::kNested;
-      params.trace_out = (lights == light_counts[0] && run == 0) ? trace_out : "";
-      const Fig9Result nested = RunFig9(params);
-      params.trace_out.clear();
+      const Fig9Result& nested = results[index++];
       nested_pct.Add(nested.delivered_fraction * 100.0);
       nested_bytes.Add(static_cast<double>(nested.diffusion_bytes));
-
-      params.mode = flat_mode;
-      const Fig9Result flat = RunFig9(params);
+      const Fig9Result& flat = results[index++];
       flat_pct.Add(flat.delivered_fraction * 100.0);
       flat_bytes.Add(static_cast<double>(flat.diffusion_bytes));
     }
     std::printf("%-8d  %-20s  %-20s  %-16.0f  %-16.0f\n", lights,
                 FormatWithCI(nested_pct, 1).c_str(), FormatWithCI(flat_pct, 1).c_str(),
                 nested_bytes.mean(), flat_bytes.mean());
+    const std::string point = std::to_string(lights) + "_sensors";
+    bench_results.push_back({"nested_delivered_" + point, "%", nested_pct.mean()});
+    bench_results.push_back({"nested_delivered_" + point + "_ci95", "%", nested_pct.confidence95()});
+    bench_results.push_back({"flat_delivered_" + point, "%", flat_pct.mean()});
+    bench_results.push_back({"flat_delivered_" + point + "_ci95", "%", flat_pct.confidence95()});
+    bench_results.push_back({"nested_bytes_" + point, "B", nested_bytes.mean()});
+    bench_results.push_back({"flat_bytes_" + point, "B", flat_bytes.mean()});
   }
   std::printf(
       "\nLocalizing data near the triggering event (nested) both delivers more events and\n"
       "moves fewer bytes — 'localizing the data to the sensors is very important to\n"
       "parsimonious use of bandwidth' (§6.2).\n");
+  if (!bench_json_out.empty()) {
+    if (!bench::WriteBenchJson(bench_json_out, "fig9_nested_queries", bench_results)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", bench_json_out.c_str());
+  }
   return 0;
 }
 

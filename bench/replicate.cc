@@ -1,0 +1,22 @@
+#include "bench/replicate.h"
+
+namespace diffusion {
+namespace bench {
+
+std::vector<std::unique_ptr<MemoryTraceSink>> MakeTraceBuffers(
+    size_t count, const std::string& trace_out, const std::function<bool(size_t)>& traced) {
+  std::vector<std::unique_ptr<MemoryTraceSink>> buffers(count);
+  if (trace_out.empty()) {
+    return buffers;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const bool wants = traced != nullptr ? traced(i) : i == 0;
+    if (wants) {
+      buffers[i] = std::make_unique<MemoryTraceSink>();
+    }
+  }
+  return buffers;
+}
+
+}  // namespace bench
+}  // namespace diffusion

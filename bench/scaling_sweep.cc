@@ -13,6 +13,7 @@
 
 #include "bench/bench_flags.h"
 #include "bench/bench_json.h"
+#include "bench/replicate.h"
 #include "src/testbed/experiments.h"
 #include "src/testbed/harness.h"
 
@@ -23,6 +24,7 @@ int Main(int argc, char** argv) {
   const int runs = static_cast<int>(bench::IntFlag(argc, argv, "runs", 3));
   const int minutes = static_cast<int>(bench::IntFlag(argc, argv, "minutes", 3));
   const uint64_t base_seed = static_cast<uint64_t>(bench::IntFlag(argc, argv, "seed", 5000));
+  const unsigned jobs = bench::JobsFlag(argc, argv);
   // Flight recorder: trace the first (smallest-network) run only.
   const std::string trace_out = bench::StringFlag(argc, argv, "trace-out");
   // Wall-clock per sweep point in diffusion-bench-v1 form — the matching
@@ -37,7 +39,7 @@ int Main(int argc, char** argv) {
   }
 
   std::printf("=== Scalability sweep (5 sources, 5 sinks, suppression on, 1.6 Mb/s,\n");
-  std::printf("    %d runs x %d min per point) ===\n\n", runs, minutes);
+  std::printf("    %d runs x %d min per point, %u jobs) ===\n\n", runs, minutes, jobs);
   std::printf("%-8s  %-18s  %-18s  %-14s\n", "nodes", "bytes/event", "delivery %",
               "bytes/event/node");
 
@@ -47,16 +49,23 @@ int Main(int argc, char** argv) {
     RunningStat bytes;
     RunningStat delivery;
     const auto wall_start = std::chrono::steady_clock::now();
-    for (int run = 0; run < runs; ++run) {
-      ScaleParams params;
-      params.nodes = nodes;
-      // Scale the field with the node count to hold density (and hop counts
-      // per unit area) roughly constant.
-      params.field_size = 100.0 * std::sqrt(static_cast<double>(nodes) / 50.0);
-      params.duration = static_cast<SimDuration>(minutes) * kMinute;
-      params.seed = base_seed + static_cast<uint64_t>(run);
-      params.trace_out = (nodes == node_counts[0] && run == 0) ? trace_out : "";
-      const ScaleResult result = RunScaleExperiment(params);
+    // One batch per sweep point: its `runs` replicates execute --jobs at a
+    // time, and the wall-clock below measures the whole batch. Only the
+    // first point's first replicate traces.
+    const std::vector<ScaleResult> results = bench::RunReplicates<ScaleResult>(
+        jobs, static_cast<size_t>(runs), nodes == node_counts[0] ? trace_out : "", nullptr,
+        [nodes, minutes, base_seed](size_t run, TraceSink* sink) {
+          ScaleParams params;
+          params.nodes = nodes;
+          // Scale the field with the node count to hold density (and hop
+          // counts per unit area) roughly constant.
+          params.field_size = 100.0 * std::sqrt(static_cast<double>(nodes) / 50.0);
+          params.duration = static_cast<SimDuration>(minutes) * kMinute;
+          params.seed = base_seed + run;
+          params.trace_sink = sink;
+          return RunScaleExperiment(params);
+        });
+    for (const ScaleResult& result : results) {
       bytes.Add(result.bytes_per_event);
       delivery.Add(result.delivery_rate * 100.0);
     }

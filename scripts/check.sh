@@ -16,6 +16,16 @@ if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   fi
 fi
 
+# Formatting gate: the tree must be clang-format clean (see .clang-format).
+# CI's lint job enforces this unconditionally; locally we skip with a warning
+# when the binary is absent rather than fail the whole pipeline.
+if command -v clang-format >/dev/null 2>&1; then
+  git ls-files '*.cc' '*.h' -- src bench tests examples \
+    | xargs clang-format --dry-run -Werror
+else
+  echo "WARNING: clang-format not found; skipping format gate (CI enforces it)" >&2
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
@@ -33,4 +43,13 @@ done
 # Local repair must actually work: the crash scenario re-runs and fails if
 # delivery does not resume within 2x the interest refresh period.
 ./build/bench/fault_recovery --scenario=crash --out=build/BENCH_fault_crash.json --require-repair
+
+# Parallel replication must not change results: the Figure-8 sweep's bench
+# JSON and merged trace are byte-identical at --jobs=1 and --jobs=8.
+./build/bench/fig8_aggregation --runs=2 --minutes=1 --jobs=1 \
+  --bench-json=build/fig8_j1.json --trace-out=build/fig8_j1.jsonl >/dev/null
+./build/bench/fig8_aggregation --runs=2 --minutes=1 --jobs=8 \
+  --bench-json=build/fig8_j8.json --trace-out=build/fig8_j8.jsonl >/dev/null
+cmp build/fig8_j1.json build/fig8_j8.json
+cmp build/fig8_j1.jsonl build/fig8_j8.jsonl
 echo "ALL CHECKS PASSED"

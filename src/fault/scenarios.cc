@@ -106,16 +106,9 @@ FaultPlan BuiltinScenarioPlan(const FaultScenarioParams& params) {
 FaultScenarioResult RunFaultScenario(const FaultScenarioParams& params) {
   // Writer first so it outlives the simulator (teardown may still trace).
   std::unique_ptr<TraceWriter> trace_writer;
-  if (!params.trace_out.empty()) {
-    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
-    if (!trace_writer->ok()) {
-      std::cerr << "warning: cannot open trace file " << params.trace_out
-                << "; tracing disabled for this run\n";
-      trace_writer.reset();
-    }
-  }
+  TraceSink* trace_sink = ResolveTraceSink(params.trace_sink, params.trace_out, &trace_writer);
   RecoveryObserver observer(kIsiSinkNode);
-  TeeTraceSink tee(trace_writer.get(), &observer);
+  TeeTraceSink tee(trace_sink, &observer);
 
   Simulator sim(params.seed);
   sim.set_trace_sink(&tee);

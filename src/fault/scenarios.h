@@ -23,6 +23,7 @@
 #include <string>
 
 #include "src/fault/fault_plan.h"
+#include "src/trace/trace.h"
 #include "src/util/time.h"
 
 namespace diffusion {
@@ -50,6 +51,9 @@ struct FaultScenarioParams {
   std::string plan_json;
 
   std::string trace_out;  // JSONL flight-recorder path ("" = tracing off)
+  // Borrowed sink overriding trace_out when set (the replication harness
+  // injects a private per-replicate buffer); must outlive the run.
+  TraceSink* trace_sink = nullptr;
 };
 
 struct FaultScenarioResult {

@@ -1,7 +1,6 @@
 #include "src/testbed/experiments.h"
 
 #include <algorithm>
-#include <iostream>
 #include <map>
 #include <memory>
 #include <set>
@@ -64,17 +63,10 @@ Fig8Result RunFig8(const Fig8Params& params) {
   // The writer outlives the simulator (declared first) so events emitted
   // during teardown still have a live sink.
   std::unique_ptr<TraceWriter> trace_writer;
-  if (!params.trace_out.empty()) {
-    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
-    if (!trace_writer->ok()) {
-      std::cerr << "warning: cannot open trace file " << params.trace_out
-                << "; tracing disabled for this run\n";
-      trace_writer.reset();
-    }
-  }
+  TraceSink* trace_sink = ResolveTraceSink(params.trace_sink, params.trace_out, &trace_writer);
   Simulator sim(params.seed);
-  if (trace_writer != nullptr) {
-    sim.set_trace_sink(trace_writer.get());
+  if (trace_sink != nullptr) {
+    sim.set_trace_sink(trace_sink);
   }
   const TestbedLayout layout = IsiTestbedLayout();
   std::unique_ptr<PropagationModel> propagation;
@@ -181,17 +173,10 @@ Fig8Result RunFig8(const Fig8Params& params) {
 
 Fig9Result RunFig9(const Fig9Params& params) {
   std::unique_ptr<TraceWriter> trace_writer;
-  if (!params.trace_out.empty()) {
-    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
-    if (!trace_writer->ok()) {
-      std::cerr << "warning: cannot open trace file " << params.trace_out
-                << "; tracing disabled for this run\n";
-      trace_writer.reset();
-    }
-  }
+  TraceSink* trace_sink = ResolveTraceSink(params.trace_sink, params.trace_out, &trace_writer);
   Simulator sim(params.seed);
-  if (trace_writer != nullptr) {
-    sim.set_trace_sink(trace_writer.get());
+  if (trace_sink != nullptr) {
+    sim.set_trace_sink(trace_sink);
   }
   const TestbedLayout layout = IsiTestbedLayout();
   Channel channel(&sim, MakePropagation(layout, params.link_delivery));
@@ -267,17 +252,10 @@ Fig9Result RunFig9(const Fig9Params& params) {
 
 ScaleResult RunScaleExperiment(const ScaleParams& params) {
   std::unique_ptr<TraceWriter> trace_writer;
-  if (!params.trace_out.empty()) {
-    trace_writer = std::make_unique<TraceWriter>(params.trace_out);
-    if (!trace_writer->ok()) {
-      std::cerr << "warning: cannot open trace file " << params.trace_out
-                << "; tracing disabled for this run\n";
-      trace_writer.reset();
-    }
-  }
+  TraceSink* trace_sink = ResolveTraceSink(params.trace_sink, params.trace_out, &trace_writer);
   Simulator sim(params.seed);
-  if (trace_writer != nullptr) {
-    sim.set_trace_sink(trace_writer.get());
+  if (trace_sink != nullptr) {
+    sim.set_trace_sink(trace_sink);
   }
 
   // Draw random layouts until connected.

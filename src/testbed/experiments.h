@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/apps/nested_query.h"
+#include "src/trace/trace.h"
 #include "src/util/time.h"
 
 namespace diffusion {
@@ -53,6 +54,10 @@ struct Fig8Params {
   // When non-empty, stream every TraceEvent of the run to this JSONL file
   // (the flight recorder; costs nothing when empty).
   std::string trace_out;
+  // Borrowed sink that overrides trace_out when set. The replication harness
+  // injects a private per-replicate buffer here so parallel replicates never
+  // share a file stream; must outlive the run.
+  TraceSink* trace_sink = nullptr;
 };
 
 struct Fig8Result {
@@ -82,6 +87,8 @@ struct Fig9Params {
   double link_delivery = 0.98;
   // When non-empty, stream every TraceEvent of the run to this JSONL file.
   std::string trace_out;
+  // Borrowed sink overriding trace_out (see Fig8Params::trace_sink).
+  TraceSink* trace_sink = nullptr;
 };
 
 struct Fig9Result {
@@ -114,6 +121,8 @@ struct ScaleParams {
   double radio_range = 22.0;
   // When non-empty, stream every TraceEvent of the run to this JSONL file.
   std::string trace_out;
+  // Borrowed sink overriding trace_out (see Fig8Params::trace_sink).
+  TraceSink* trace_sink = nullptr;
 };
 
 struct ScaleResult {

@@ -2,13 +2,18 @@
 
 #include <cstdio>
 
+#include "src/sim/replication.h"
+
 namespace diffusion {
 
 std::map<std::string, RunningStat> RunRepeated(size_t runs, uint64_t base_seed,
-                                               const std::function<MetricMap(uint64_t)>& run_fn) {
+                                               const std::function<MetricMap(uint64_t)>& run_fn,
+                                               unsigned jobs) {
+  ReplicationPool pool(jobs);
+  const std::vector<MetricMap> per_run = pool.Map<MetricMap>(
+      runs, [base_seed, &run_fn](size_t i) { return run_fn(base_seed + i); });
   std::map<std::string, RunningStat> stats;
-  for (size_t i = 0; i < runs; ++i) {
-    const MetricMap metrics = run_fn(base_seed + i);
+  for (const MetricMap& metrics : per_run) {
     for (const auto& [name, value] : metrics) {
       stats[name].Add(value);
     }

@@ -17,9 +17,13 @@ namespace diffusion {
 using MetricMap = std::map<std::string, double>;
 
 // Runs `run_fn` once per seed (base_seed, base_seed+1, ...) and accumulates
-// each metric across runs.
+// each metric across runs. `jobs` > 1 fans the runs out across that many
+// worker threads (each run must be self-contained, which every Run*
+// experiment is); metrics are always accumulated in seed order, so the
+// result is bit-identical for every jobs value.
 std::map<std::string, RunningStat> RunRepeated(size_t runs, uint64_t base_seed,
-                                               const std::function<MetricMap(uint64_t)>& run_fn);
+                                               const std::function<MetricMap(uint64_t)>& run_fn,
+                                               unsigned jobs = 1);
 
 // "1234.5 ± 67.8" (the ± term is the 95% CI half-width).
 std::string FormatWithCI(const RunningStat& stat, int precision = 1);
