@@ -70,7 +70,7 @@ int Main() {
   gateway.Bridge(kPhotoTag, {Attribute::String(kKeyType, AttrOp::kIs, "photo")});
 
   size_t readings_received = 0;
-  user.Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "photo")},
+  (void)user.Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "photo")},
                  [&readings_received](const AttributeVector&) { ++readings_received; });
   sim.RunUntil(5 * kSecond);
 

@@ -38,7 +38,7 @@ class AnimalSensor {
         Attribute::Float64(kKeyYCoord, AttrOp::kIs, y),
         ClassIs(kClassData),
     };
-    node_->Subscribe(std::move(watch), [this](const AttributeVector& interest) {
+    (void)node_->Subscribe(std::move(watch), [this](const AttributeVector& interest) {
       OnTask(interest);
     });
   }
@@ -60,7 +60,7 @@ class AnimalSensor {
         Attribute::Int32(kKeySourceId, AttrOp::kIs, static_cast<int32_t>(node_->id())),
         Attribute::Int64(kKeyTimestamp, AttrOp::kIs, node_->simulator().now()),
     };
-    node_->Send(publication_, detection);
+    (void)node_->Send(publication_, detection);
   }
 
  private:
@@ -120,7 +120,7 @@ int main() {
   // The user's query — exactly the interest of §3.2 / Figure 10's style:
   // (type EQ four-legged-animal-search, interval IS 20ms, duration IS 10s,
   //  x GE -100, x LE 200, y GE 100, y LE 400).
-  user.Subscribe(FourLeggedAnimalInterest(), [&sim](const AttributeVector& detection) {
+  (void)user.Subscribe(FourLeggedAnimalInterest(), [&sim](const AttributeVector& detection) {
     const Attribute* instance = FindActual(detection, kKeyInstance);
     const Attribute* confidence = FindActual(detection, kKeyConfidence);
     const Attribute* count = FindActual(detection, kKeyDetectionCount);

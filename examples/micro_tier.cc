@@ -68,7 +68,7 @@ int main() {
   std::printf("t=1s   mote tier tasked yet? %s (no full-tier interest so far)\n",
               gateway.TagTasked(kPhotoTag) ? "yes" : "no");
 
-  user.Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "photo")},
+  (void)user.Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "photo")},
                  [&sim](const AttributeVector& attrs) {
                    const Attribute* value = FindActual(attrs, kKeyMicroValue);
                    const Attribute* origin = FindActual(attrs, kKeySourceId);

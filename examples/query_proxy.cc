@@ -75,7 +75,7 @@ class ProxySensor {
         ClassEq(kClassInterest),
         Attribute::String(kKeyType, AttrOp::kEq, "seismic"),
     };
-    node_->AddFilter(std::move(watch), 10, [this](Message& message, FilterApi& api) {
+    (void)node_->AddFilter(std::move(watch), 10, [this](Message& message, FilterApi& api) {
       const bool is_interest = message.type == MessageType::kInterest;
       const AttributeVector attrs = message.attrs.items();
       api.SendMessageToNext(std::move(message));
@@ -92,7 +92,7 @@ class ProxySensor {
       ++locally_filtered_;
       return;  // the proxy decided this reading is not worth radio energy
     }
-    node_->Send(publication_, {
+    (void)node_->Send(publication_, {
                                   Attribute::Int32(kKeySequence, AttrOp::kIs, sequence),
                                   Attribute::Float64(kKeyIntensity, AttrOp::kIs, reading),
                                   Attribute::Int32(kKeySourceId, AttrOp::kIs,
@@ -147,7 +147,7 @@ int main() {
 
   // The user's query ships the program "intensity > 30" to every proxy.
   const std::string code = "intensity > 30";
-  user.Subscribe(
+  (void)user.Subscribe(
       {
           ClassEq(kClassData),
           Attribute::String(kKeyType, AttrOp::kEq, "seismic"),

@@ -33,7 +33,7 @@ int main() {
   // 2. The sink subscribes to data it can name: temperature readings above
   //    20 degrees. "class EQ data" and "type EQ temperature" are formals the
   //    data's actuals must satisfy; so is the threshold.
-  sink.Subscribe(
+  (void)sink.Subscribe(
       {
           ClassEq(kClassData),
           Attribute::String(kKeyType, AttrOp::kEq, "temperature"),
@@ -53,7 +53,7 @@ int main() {
   const double readings[] = {25.5, 19.0, 22.3, 30.1, 18.2, 27.7};
   for (int i = 0; i < 6; ++i) {
     sim.After((i + 1) * 2 * kSecond, [&source, pub, &readings, i] {
-      source.Send(pub, {Attribute::Float64(kKeyIntensity, AttrOp::kIs, readings[i])});
+      (void)source.Send(pub, {Attribute::Float64(kKeyIntensity, AttrOp::kIs, readings[i])});
     });
   }
 

@@ -1,8 +1,47 @@
 #!/usr/bin/env bash
 # Full verification pipeline: hygiene, configure, build, test, run every
 # benchmark.
+#
+#   scripts/check.sh          full pipeline (includes the diffusion-lint gate)
+#   scripts/check.sh --lint   just diffusion-lint over src/bench/tests/examples
+#   scripts/check.sh --tidy   just clang-tidy (skips with a warning if absent)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# diffusion-lint gate (docs/STATIC_ANALYSIS.md). Uses the CMake-built binary
+# when present; otherwise compiles the two-file tool directly — it has no
+# dependencies, so the standalone gate needs only g++.
+run_lint() {
+  local tool=build/tools/diffusion_lint
+  if [[ ! -x "${tool}" ]]; then
+    mkdir -p build/tools
+    g++ -std=c++20 -O2 -I. \
+      tools/diffusion_lint/lint.cc tools/diffusion_lint/main.cc -o "${tool}"
+  fi
+  "${tool}" src bench tests examples
+}
+
+# clang-tidy gate over the compilation database. CI enforces this with
+# -warnings-as-errors='*'; locally we skip with a warning when the binary is
+# absent (the container toolchain is gcc-only).
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "WARNING: clang-tidy not found; skipping tidy gate (CI enforces it)" >&2
+    return 0
+  fi
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -B build -G Ninja
+  fi
+  git ls-files '*.cc' -- src bench tests examples \
+    | xargs clang-tidy -p build --quiet --warnings-as-errors='*'
+}
+
+case "${1:-}" in
+  --lint) run_lint; exit 0 ;;
+  --tidy) run_tidy; exit 0 ;;
+  "") ;;
+  *) echo "usage: $0 [--lint|--tidy]" >&2; exit 2 ;;
+esac
 
 # Repo hygiene: build trees and their artifacts must never be committed.
 if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
@@ -28,6 +67,12 @@ fi
 
 cmake -B build -G Ninja
 cmake --build build
+
+# Project-specific static analysis: the tree must be diffusion-lint clean.
+./build/tools/diffusion_lint src bench tests examples
+# clang-tidy baseline (no-op locally without the binary; CI enforces).
+run_tidy
+
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do
   echo "===== $b"

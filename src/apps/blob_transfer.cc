@@ -56,8 +56,8 @@ BlobSender::~BlobSender() {
   if (pump_event_ != kInvalidEventId) {
     node_->simulator().Cancel(pump_event_);
   }
-  node_->RemoveFilter(interest_filter_);
-  node_->Unpublish(publication_);
+  (void)node_->RemoveFilter(interest_filter_);
+  (void)node_->Unpublish(publication_);
 }
 
 void BlobSender::Start() {
@@ -186,10 +186,10 @@ BlobReceiver::~BlobReceiver() {
     node_->simulator().Cancel(repair_event_);
   }
   if (subscription_ != kInvalidHandle) {
-    node_->Unsubscribe(subscription_);
+    (void)node_->Unsubscribe(subscription_);
   }
   for (SubscriptionHandle handle : repair_subscriptions_) {
-    node_->Unsubscribe(handle);
+    (void)node_->Unsubscribe(handle);
   }
 }
 
@@ -231,12 +231,12 @@ std::vector<std::pair<int32_t, int32_t>> BlobReceiver::MissingSpans() const {
   const int32_t total = static_cast<int32_t>(*expected_);
   int32_t i = 0;
   while (i < total) {
-    if (chunks_.count(i) > 0) {
+    if (chunks_.contains(i)) {
       ++i;
       continue;
     }
     int32_t j = i;
-    while (j + 1 < total && chunks_.count(j + 1) == 0) {
+    while (j + 1 < total && !chunks_.contains(j + 1)) {
       ++j;
     }
     spans.emplace_back(i, j);
@@ -257,7 +257,7 @@ void BlobReceiver::CheckAndRepair() {
 
   // Drop the previous round's range interests; new spans supersede them.
   for (SubscriptionHandle handle : repair_subscriptions_) {
-    node_->Unsubscribe(handle);
+    (void)node_->Unsubscribe(handle);
   }
   repair_subscriptions_.clear();
 

@@ -43,8 +43,8 @@ SensorElection::~SensorElection() {
   if (settle_event_ != kInvalidEventId) {
     node_->simulator().Cancel(settle_event_);
   }
-  node_->Unsubscribe(claim_subscription_);
-  node_->Unpublish(claim_publication_);
+  (void)node_->Unsubscribe(claim_subscription_);
+  (void)node_->Unpublish(claim_publication_);
 }
 
 void SensorElection::Start(ResultCallback on_result) {
@@ -91,7 +91,7 @@ void SensorElection::Nominate() {
   if (!best_.has_value() || best_->BeatenBy(self_)) {
     best_ = self_;
   }
-  node_->Send(claim_publication_, {
+  (void)node_->Send(claim_publication_, {
                                       Attribute::Float64(kKeyElectionMetric, AttrOp::kIs,
                                                          self_.metric),
                                       Attribute::Int32(kKeySourceId, AttrOp::kIs,

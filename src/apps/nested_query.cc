@@ -54,7 +54,7 @@ void LightSensor::Stop() {
     tick_event_ = kInvalidEventId;
   }
   if (publication_ != kInvalidHandle) {
-    node_->Unpublish(publication_);
+    (void)node_->Unpublish(publication_);
     publication_ = kInvalidHandle;
   }
 }
@@ -108,16 +108,16 @@ AudioSensor::~AudioSensor() {
     node_->simulator().Cancel(epoch_event_);
   }
   if (audio_publication_ != kInvalidHandle) {
-    node_->Unpublish(audio_publication_);
+    (void)node_->Unpublish(audio_publication_);
   }
   if (interest_watch_ != kInvalidHandle) {
-    node_->Unsubscribe(interest_watch_);
+    (void)node_->Unsubscribe(interest_watch_);
   }
   if (light_subscription_ != kInvalidHandle) {
-    node_->Unsubscribe(light_subscription_);
+    (void)node_->Unsubscribe(light_subscription_);
   }
   if (trigger_subscription_ != kInvalidHandle) {
-    node_->Unsubscribe(trigger_subscription_);
+    (void)node_->Unsubscribe(trigger_subscription_);
   }
 }
 
@@ -230,13 +230,13 @@ QueryUser::QueryUser(DiffusionNode* node, NestedQueryConfig config, QueryMode mo
 
 QueryUser::~QueryUser() {
   if (audio_subscription_ != kInvalidHandle) {
-    node_->Unsubscribe(audio_subscription_);
+    (void)node_->Unsubscribe(audio_subscription_);
   }
   if (light_subscription_ != kInvalidHandle) {
-    node_->Unsubscribe(light_subscription_);
+    (void)node_->Unsubscribe(light_subscription_);
   }
   if (trigger_publication_ != kInvalidHandle) {
-    node_->Unpublish(trigger_publication_);
+    (void)node_->Unpublish(trigger_publication_);
   }
 }
 
@@ -276,7 +276,7 @@ void QueryUser::OnAudioData(const AttributeVector& attrs) {
   audio_observed_.insert(key);
   if (mode_ == QueryMode::kFlat) {
     // One-level query: the user needs the light report too to correlate.
-    if (light_observed_.count(key) > 0) {
+    if (light_observed_.contains(key)) {
       delivered_.insert(key);
     }
   } else {
@@ -300,7 +300,7 @@ void QueryUser::OnLightReport(const AttributeVector& attrs) {
   const int64_t key = LightEventKey(epoch, light_id);
   light_observed_.insert(key);
   if (mode_ == QueryMode::kFlat) {
-    if (audio_observed_.count(key) > 0) {
+    if (audio_observed_.contains(key)) {
       delivered_.insert(key);
     }
     return;

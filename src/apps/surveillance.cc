@@ -54,7 +54,7 @@ void SurveillanceSource::Stop() {
     tick_event_ = kInvalidEventId;
   }
   if (publication_ != kInvalidHandle) {
-    node_->Unpublish(publication_);
+    (void)node_->Unpublish(publication_);
     publication_ = kInvalidHandle;
   }
 }
@@ -90,7 +90,7 @@ void SurveillanceSource::Tick() {
       extra.push_back(attr);
     }
   }
-  node_->Send(publication_, extra);
+  (void)node_->Send(publication_, extra);
   ++events_generated_;
   tick_event_ = node_->simulator().After(config_.event_interval, [this] {
     tick_event_ = kInvalidEventId;
@@ -103,7 +103,7 @@ SurveillanceSink::SurveillanceSink(DiffusionNode* node, SurveillanceConfig confi
 
 SurveillanceSink::~SurveillanceSink() {
   if (subscription_ != kInvalidHandle) {
-    node_->Unsubscribe(subscription_);
+    (void)node_->Unsubscribe(subscription_);
   }
 }
 

@@ -5,6 +5,11 @@
 // nobody has asked yet) with "you passed a dead handle" (a caller bug).
 // ApiResult keeps the distinction so callers and traces can react
 // differently.
+//
+// The enum itself is [[nodiscard]]: every function returning ApiResult —
+// present and future — makes silently dropping the result a compile error
+// (and a diffusion-lint DL004 finding). Deliberate discards are spelled
+// `(void)node.Send(...)`.
 
 #ifndef SRC_CORE_API_RESULT_H_
 #define SRC_CORE_API_RESULT_H_
@@ -13,7 +18,7 @@
 
 namespace diffusion {
 
-enum class ApiResult : uint8_t {
+enum class [[nodiscard]] ApiResult : uint8_t {
   kOk = 0,
   // Send: no gradient-table interest matched the publication, so the data
   // stayed local. Expected before any sink has expressed interest.

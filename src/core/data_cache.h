@@ -37,7 +37,7 @@ class DataCache {
     order_.clear();
   }
 
-  bool Contains(uint64_t id) const { return set_.count(id) > 0; }
+  bool Contains(uint64_t id) const { return set_.contains(id); }
   size_t size() const { return set_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }

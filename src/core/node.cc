@@ -120,7 +120,7 @@ SubscriptionHandle DiffusionNode::Subscribe(AttributeSet attrs, DataCallback cal
       if (std::optional<int64_t> ms = duration->AsInt()) {
         if (*ms > 0) {
           it->second.duration_event =
-              sim_->After(*ms * kMillisecond, [this, handle] { Unsubscribe(handle); });
+              sim_->After(*ms * kMillisecond, [this, handle] { (void)Unsubscribe(handle); });
         }
       }
     }
@@ -682,7 +682,7 @@ void DiffusionNode::ProcessPositiveReinforcement(Message& message) {
     return;  // no known upstream to extend the path toward
   }
   if (entry->last_upstream_reinforce_packet == entry->last_exploratory_packet &&
-      entry->reinforced_upstream.count(entry->last_exploratory_from) > 0) {
+      entry->reinforced_upstream.contains(entry->last_exploratory_from)) {
     return;  // already propagated for this exploratory round
   }
   entry->last_upstream_reinforce_packet = entry->last_exploratory_packet;

@@ -111,18 +111,21 @@ class DiffusionNode {
   //
   // Handles are distinct opaque types per kind — passing a FilterHandle to
   // Unsubscribe is a compile error. Teardown/send calls return ApiResult so
-  // "data stayed local" and "bad handle" are distinguishable.
+  // "data stayed local" and "bad handle" are distinguishable; ApiResult is a
+  // [[nodiscard]] type, and the handle-returning registration calls are
+  // [[nodiscard]] too (losing a handle leaks the subscription/publication/
+  // filter — nothing can ever tear it down).
 
   // Subscribes to data matching `attrs`. Floods an interest (and re-floods
   // every interest_refresh) unless the subscription is for interests
   // themselves (contains a formal on the class attribute matching
   // "class IS interest"), which only watches locally arriving interests.
-  SubscriptionHandle Subscribe(AttributeSet attrs, DataCallback callback);
+  [[nodiscard]] SubscriptionHandle Subscribe(AttributeSet attrs, DataCallback callback);
   ApiResult Unsubscribe(SubscriptionHandle handle);
 
   // Declares data this node can produce. The attrs must be actuals
   // describing the data (a "class IS data" actual is appended if absent).
-  PublicationHandle Publish(AttributeSet attrs);
+  [[nodiscard]] PublicationHandle Publish(AttributeSet attrs);
   ApiResult Unpublish(PublicationHandle handle);
 
   // Sends one data message: the publication's attrs plus `extra_attrs`.
@@ -136,7 +139,8 @@ class DiffusionNode {
   // message entering the node whose actuals satisfy `attrs`' formals
   // (one-way match), highest priority first; it then owns the message and
   // must re-inject it (FilterApi::SendMessage) for processing to continue.
-  FilterHandle AddFilter(AttributeSet attrs, int16_t priority, FilterCallback callback);
+  [[nodiscard]] FilterHandle AddFilter(AttributeSet attrs, int16_t priority,
+                                       FilterCallback callback);
   ApiResult RemoveFilter(FilterHandle handle);
 
   // ---- introspection / experiment support ----

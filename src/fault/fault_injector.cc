@@ -14,7 +14,7 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
 
 void FaultInjector::Crash(NodeId id) {
   auto it = nodes_.find(id);
-  if (it == nodes_.end() || dead_.count(id) > 0) {
+  if (it == nodes_.end() || dead_.contains(id)) {
     return;
   }
   // Kill first so pending scheduler events are cancelled, then detach so
@@ -30,7 +30,7 @@ void FaultInjector::Reboot(NodeId id) {
   if (it == nodes_.end()) {
     return;
   }
-  if (dead_.count(id) > 0) {
+  if (dead_.contains(id)) {
     channel_->Attach(&it->second->radio());
     dead_.erase(id);
   }
@@ -42,7 +42,7 @@ NodeId FaultInjector::PickHottestRelay(const std::vector<NodeId>& exclude) const
   NodeId best = kBroadcastId;
   uint64_t best_forwarded = 0;
   for (const auto& [id, node] : nodes_) {
-    if (dead_.count(id) > 0) {
+    if (dead_.contains(id)) {
       continue;
     }
     bool excluded = false;
@@ -72,11 +72,11 @@ void FaultInjector::Execute(const FaultEvent& event) {
 
   switch (event.kind) {
     case FaultEventKind::kCrash:
-      record.node = nodes_.count(event.node) > 0 ? event.node : kBroadcastId;
+      record.node = nodes_.contains(event.node) ? event.node : kBroadcastId;
       Crash(event.node);
       break;
     case FaultEventKind::kReboot:
-      record.node = nodes_.count(event.node) > 0 ? event.node : kBroadcastId;
+      record.node = nodes_.contains(event.node) ? event.node : kBroadcastId;
       Reboot(event.node);
       break;
     case FaultEventKind::kCrashHottestRelay:
@@ -143,12 +143,12 @@ void FaultInjector::Execute(const FaultEvent& event) {
 size_t FaultInjector::CountStaleGradients() const {
   size_t stale = 0;
   for (const auto& [id, node] : nodes_) {
-    if (dead_.count(id) > 0) {
+    if (dead_.contains(id)) {
       continue;
     }
     for (const InterestEntry& entry : node->gradients().entries()) {
       for (const Gradient& gradient : entry.gradients) {
-        if (dead_.count(gradient.neighbor) > 0) {
+        if (dead_.contains(gradient.neighbor)) {
           ++stale;
         }
       }

@@ -54,7 +54,7 @@ class FaultInjector {
   // Every fault that has fired so far, with resolved targets.
   const std::vector<ExecutedFault>& executed() const { return executed_; }
 
-  bool IsDead(NodeId node) const { return dead_.count(node) > 0; }
+  bool IsDead(NodeId node) const { return dead_.contains(node); }
   const std::set<NodeId>& dead() const { return dead_; }
 
   // Gradients on living nodes that still point at a dead neighbor — the

@@ -90,7 +90,7 @@ class FaultOverlayPropagation : public PropagationModel {
   }
 
   bool Severed(NodeId from, NodeId to) const {
-    if (blackouts_.count(MakeKey(from, to)) > 0) {
+    if (blackouts_.contains(MakeKey(from, to))) {
       return true;
     }
     if (!partition_side_.empty()) {

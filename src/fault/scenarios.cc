@@ -144,7 +144,7 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioParams& params) {
   // instant (the time-to-repair probe).
   std::map<int64_t, SimTime> first_delivery;
   std::vector<SimTime> delivery_times;
-  nodes.at(kIsiSinkNode)
+  (void)nodes.at(kIsiSinkNode)
       ->Subscribe(SurveillanceInterestAttrs(sconfig), [&](const AttributeVector& attrs) {
         const Attribute* seq = FindActual(attrs, kKeySequence);
         if (seq == nullptr) {
@@ -214,7 +214,7 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioParams& params) {
         continue;
       }
       ++possible;
-      if (first_delivery.count(k) > 0) {
+      if (first_delivery.contains(k)) {
         ++delivered;
       }
     }

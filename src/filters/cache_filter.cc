@@ -15,8 +15,8 @@ CacheFilter::CacheFilter(DiffusionNode* node, AttributeVector data_match_attrs, 
 }
 
 CacheFilter::~CacheFilter() {
-  node_->RemoveFilter(data_filter_);
-  node_->RemoveFilter(interest_filter_);
+  (void)node_->RemoveFilter(data_filter_);
+  (void)node_->RemoveFilter(interest_filter_);
 }
 
 void CacheFilter::OnData(Message& message, FilterApi& api) {

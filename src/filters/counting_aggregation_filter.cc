@@ -27,7 +27,7 @@ CountingAggregationFilter::~CountingAggregationFilter() {
     }
   }
   if (handle_ != kInvalidHandle) {
-    node_->RemoveFilter(handle_);
+    (void)node_->RemoveFilter(handle_);
   }
 }
 
@@ -42,19 +42,20 @@ void CountingAggregationFilter::Run(Message& message, FilterApi& api) {
   if (seen_packets_.CheckAndInsert(message.PacketId())) {
     return;  // another copy of a packet already folded in
   }
-  if (emitted_.count(*sequence) > 0) {
+  if (emitted_.contains(*sequence)) {
     // Aggregate already left this node; drop stragglers.
     ++events_merged_;
     return;
   }
 
-  const Attribute* source_attr = FindActual(message.attrs, kKeySourceId);
-  const Attribute* confidence_attr = FindActual(message.attrs, kKeyConfidence);
-
   auto it = pending_.find(*sequence);
   if (it == pending_.end()) {
     Pending pending;
-    pending.exemplar = message;
+    // Move the message in, then look the attributes up in their new home
+    // (the pointers would dangle if taken from `message` before the move).
+    pending.exemplar = std::move(message);
+    const Attribute* source_attr = FindActual(pending.exemplar.attrs, kKeySourceId);
+    const Attribute* confidence_attr = FindActual(pending.exemplar.attrs, kKeyConfidence);
     if (source_attr != nullptr) {
       if (std::optional<int64_t> source = source_attr->AsInt()) {
         pending.sources.insert(*source);
@@ -75,6 +76,8 @@ void CountingAggregationFilter::Run(Message& message, FilterApi& api) {
   // Merge a concurrent detection of the same event.
   ++events_merged_;
   Pending& pending = it->second;
+  const Attribute* source_attr = FindActual(message.attrs, kKeySourceId);
+  const Attribute* confidence_attr = FindActual(message.attrs, kKeyConfidence);
   if (source_attr != nullptr) {
     if (std::optional<int64_t> source = source_attr->AsInt()) {
       pending.sources.insert(*source);

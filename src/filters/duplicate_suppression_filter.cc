@@ -14,7 +14,7 @@ DuplicateSuppressionFilter::DuplicateSuppressionFilter(DiffusionNode* node,
 
 DuplicateSuppressionFilter::~DuplicateSuppressionFilter() {
   if (handle_ != kInvalidHandle) {
-    node_->RemoveFilter(handle_);
+    (void)node_->RemoveFilter(handle_);
   }
 }
 
@@ -25,7 +25,7 @@ void DuplicateSuppressionFilter::Run(Message& message, FilterApi& api) {
     api.SendMessage(std::move(message), handle_);
     return;
   }
-  if (seen_.count(*value) > 0) {
+  if (seen_.contains(*value)) {
     // A concurrent detection of the same event already went through this
     // node; suppress by simply not propagating (§5.1).
     ++suppressed_;

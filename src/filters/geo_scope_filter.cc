@@ -70,7 +70,7 @@ GeoScopeFilter::GeoScopeFilter(DiffusionNode* node, Position own_position, doubl
 
 GeoScopeFilter::~GeoScopeFilter() {
   if (handle_ != kInvalidHandle) {
-    node_->RemoveFilter(handle_);
+    (void)node_->RemoveFilter(handle_);
   }
 }
 

@@ -13,7 +13,7 @@ LoggingFilter::LoggingFilter(DiffusionNode* node, AttributeVector match_attrs, i
 
 LoggingFilter::~LoggingFilter() {
   if (handle_ != kInvalidHandle) {
-    node_->RemoveFilter(handle_);
+    (void)node_->RemoveFilter(handle_);
   }
 }
 

@@ -9,13 +9,13 @@ MicroGateway::MicroGateway(DiffusionNode* full, MicroNode* micro) : full_(full),
 MicroGateway::~MicroGateway() {
   for (auto& [tag, binding] : bindings_) {
     if (binding.interest_watch != kInvalidHandle) {
-      full_->Unsubscribe(binding.interest_watch);
+      (void)full_->Unsubscribe(binding.interest_watch);
     }
     if (binding.publication != kInvalidHandle) {
-      full_->Unpublish(binding.publication);
+      (void)full_->Unpublish(binding.publication);
     }
     if (binding.tasked) {
-      micro_->Unsubscribe(tag);
+      (void)micro_->Unsubscribe(tag);
     }
   }
 }

@@ -103,8 +103,9 @@ uint64_t HashAttributes(const AttributeVector& attrs) {
   // that attribute order does not change the result.
   uint64_t sum = 0;
   uint64_t xor_acc = 0;
+  ByteWriter writer;  // one scratch buffer for the whole set, cleared per attr
   for (const Attribute& attr : attrs) {
-    ByteWriter writer;
+    writer.Clear();
     attr.Serialize(&writer);
     uint64_t h = 0xcbf29ce484222325ULL;
     for (uint8_t byte : writer.data()) {

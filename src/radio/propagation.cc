@@ -42,10 +42,10 @@ bool DiskPropagation::Reaches(NodeId from, NodeId to) const {
   if (from == to) {
     return false;
   }
-  if (blocked_.count(MakeKey(from, to)) > 0) {
+  if (blocked_.contains(MakeKey(from, to))) {
     return false;
   }
-  if (link_quality_.count(MakeKey(from, to)) > 0) {
+  if (link_quality_.contains(MakeKey(from, to))) {
     return true;
   }
   auto from_it = positions_.find(from);
@@ -83,7 +83,7 @@ void ExplicitTopology::AddSymmetricLink(NodeId a, NodeId b, LinkQuality quality)
 void ExplicitTopology::RemoveLink(NodeId from, NodeId to) { links_.erase({from, to}); }
 
 bool ExplicitTopology::Reaches(NodeId from, NodeId to) const {
-  return from != to && links_.count({from, to}) > 0;
+  return from != to && links_.contains({from, to});
 }
 
 double ExplicitTopology::DeliveryProbability(NodeId from, NodeId to, SimTime now) const {

@@ -32,13 +32,13 @@ bool EventScheduler::Cancel(EventId id) {
 
 void EventScheduler::Compact() {
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [this](const Entry& entry) { return live_.count(entry.id) == 0; }),
+                              [this](const Entry& entry) { return !live_.contains(entry.id); }),
                queue_.end());
   std::make_heap(queue_.begin(), queue_.end(), EntryLater{});
 }
 
 void EventScheduler::SkipDead() {
-  while (!queue_.empty() && live_.count(queue_.front().id) == 0) {
+  while (!queue_.empty() && !live_.contains(queue_.front().id)) {
     std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
     queue_.pop_back();
   }

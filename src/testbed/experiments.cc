@@ -314,15 +314,15 @@ ScaleResult RunScaleExperiment(const ScaleParams& params) {
   std::set<int32_t> distinct;
   std::vector<SubscriptionHandle> subs;
   for (NodeId id : sink_ids) {
-    nodes.at(id)->Subscribe(SurveillanceInterestAttrs(sconfig),
-                            [&distinct](const AttributeVector& attrs) {
-                              const Attribute* seq = FindActual(attrs, kKeySequence);
-                              if (seq != nullptr) {
-                                if (std::optional<int64_t> v = seq->AsInt()) {
-                                  distinct.insert(static_cast<int32_t>(*v));
-                                }
-                              }
-                            });
+    subs.push_back(nodes.at(id)->Subscribe(
+        SurveillanceInterestAttrs(sconfig), [&distinct](const AttributeVector& attrs) {
+          const Attribute* seq = FindActual(attrs, kKeySequence);
+          if (seq != nullptr) {
+            if (std::optional<int64_t> v = seq->AsInt()) {
+              distinct.insert(static_cast<int32_t>(*v));
+            }
+          }
+        }));
   }
 
   std::vector<std::unique_ptr<SurveillanceSource>> sources;

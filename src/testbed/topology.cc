@@ -110,7 +110,7 @@ int HopDistance(const TestbedLayout& layout, NodeId from, NodeId to) {
     frontier.pop_front();
     const Position& current_position = layout.positions.at(current);
     for (NodeId candidate : layout.node_ids) {
-      if (distance.count(candidate) > 0) {
+      if (distance.contains(candidate)) {
         continue;
       }
       if (Distance(current_position, layout.positions.at(candidate)) <= layout.radio_range) {

@@ -49,16 +49,25 @@ bool FindInt(const std::string& line, const char* key, int64_t* out) {
 
 }  // namespace
 
+namespace {
+
+// Formats `event` into `buffer`; returns the length (JSON always fits).
+int FormatTraceEvent(const TraceEvent& event, char* buffer, size_t size) {
+  return std::snprintf(buffer, size,
+                       "{\"t\":%lld,\"kind\":\"%s\",\"node\":%u,\"peer\":%u,"
+                       "\"origin\":%u,\"seq\":%u,\"value\":%lld}",
+                       static_cast<long long>(event.when), TraceEventKindName(event.kind),
+                       event.node, event.peer, static_cast<uint32_t>(event.packet >> 32),
+                       static_cast<uint32_t>(event.packet & 0xffffffffu),
+                       static_cast<long long>(event.value));
+}
+
+}  // namespace
+
 std::string TraceEventToJson(const TraceEvent& event) {
   char buffer[224];
-  std::snprintf(buffer, sizeof(buffer),
-                "{\"t\":%lld,\"kind\":\"%s\",\"node\":%u,\"peer\":%u,"
-                "\"origin\":%u,\"seq\":%u,\"value\":%lld}",
-                static_cast<long long>(event.when), TraceEventKindName(event.kind), event.node,
-                event.peer, static_cast<uint32_t>(event.packet >> 32),
-                static_cast<uint32_t>(event.packet & 0xffffffffu),
-                static_cast<long long>(event.value));
-  return std::string(buffer);
+  const int length = FormatTraceEvent(event, buffer, sizeof(buffer));
+  return std::string(buffer, static_cast<size_t>(length));
 }
 
 std::optional<TraceEvent> TraceEventFromJson(const std::string& line) {
@@ -126,7 +135,12 @@ void TraceWriter::OnEvent(const TraceEvent& event) {
   if (!ok()) {
     return;
   }
-  out_ << TraceEventToJson(event) << '\n';
+  // Formats into a stack buffer and writes it directly: the hot path of the
+  // flight recorder makes no heap allocation per event.
+  char buffer[224];
+  const int length = FormatTraceEvent(event, buffer, sizeof(buffer));
+  out_.write(buffer, length);
+  out_.put('\n');
   ++written_;
 }
 

@@ -51,7 +51,7 @@ TEST(ApiMisuseTest, DoubleUnpublishAndSendAfterUnpublish) {
   DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   int received = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
   EXPECT_EQ(source.Send(pub, Reading(1)), ApiResult::kOk);
@@ -83,11 +83,11 @@ TEST(ApiMisuseTest, SelfRemovingFilterIsCountedAndTraced) {
   DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   FilterHandle handle = kInvalidHandle;
   handle = node.AddFilter(Query(), 10, [&](Message& message, FilterApi& api) {
-    node.RemoveFilter(handle);
+    (void)node.RemoveFilter(handle);
     api.SendMessage(std::move(message), handle);
   });
   int delivered = 0;
-  node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = node.Publish(Publication());
   sim.RunUntil(100 * kMillisecond);
   EXPECT_EQ(node.Send(pub, Reading(1)), ApiResult::kOk);

@@ -167,7 +167,7 @@ TEST_F(BlobTest, RepairInterestRangesSelectChunksByMatching) {
   // standing subscription refreshes.
   EXPECT_GE(sender.chunks_sent(), sent_before + 3);
   EXPECT_GE(repair_chunks, 3);
-  nodes_[0]->Unsubscribe(repair_handle);
+  (void)nodes_[0]->Unsubscribe(repair_handle);
   // With the subscription gone and its gradients expiring, retransmissions
   // wind down (at most one refresh-worth still in flight).
   sim_.RunUntil(4 * kMinute);

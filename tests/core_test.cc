@@ -214,12 +214,12 @@ class TwoNodeTest : public ::testing::Test {
 
 TEST_F(TwoNodeTest, DataFlowsToSubscriber) {
   std::vector<int32_t> received;
-  sink_.Subscribe(LightQuery(),
+  (void)sink_.Subscribe(LightQuery(),
                   [&](const AttributeVector& attrs) { received.push_back(SequenceOf(attrs)); });
   const PublicationHandle pub = source_.Publish(LightPublication());
   sim_.RunUntil(kSecond);  // let the interest propagate
   for (int i = 0; i < 5; ++i) {
-    sim_.After(i * 100 * kMillisecond, [&, i] { source_.Send(pub, Reading(i)); });
+    sim_.After(i * 100 * kMillisecond, [&, i] { (void)source_.Send(pub, Reading(i)); });
   }
   sim_.RunUntil(10 * kSecond);
   EXPECT_EQ(received, (std::vector<int32_t>{0, 1, 2, 3, 4}));
@@ -235,7 +235,7 @@ TEST_F(TwoNodeTest, NoSubscriptionMeansDataStaysLocal) {
 
 TEST_F(TwoNodeTest, NonMatchingDataNotDelivered) {
   int received = 0;
-  sink_.Subscribe(LightQuery(), [&](const AttributeVector&) { ++received; });
+  (void)sink_.Subscribe(LightQuery(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub =
       source_.Publish({Attribute::String(kKeyType, AttrOp::kIs, "audio")});
   sim_.RunUntil(kSecond);
@@ -250,14 +250,14 @@ TEST_F(TwoNodeTest, UnsubscribeStopsDelivery) {
       sink_.Subscribe(LightQuery(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = source_.Publish(LightPublication());
   sim_.RunUntil(kSecond);
-  source_.Send(pub, Reading(1));
+  (void)source_.Send(pub, Reading(1));
   sim_.RunUntil(2 * kSecond);
   EXPECT_EQ(received, 1);
-  sink_.Unsubscribe(sub);
+  (void)sink_.Unsubscribe(sub);
   // After the remote gradient expires, data no longer leaves the source.
   sim_.RunUntil(10 * kMinute);
   const uint64_t before = source_.stats().data_originated;
-  source_.Send(pub, Reading(2));
+  (void)source_.Send(pub, Reading(2));
   sim_.RunUntil(11 * kMinute);
   EXPECT_EQ(received, 1);
   EXPECT_EQ(source_.stats().data_originated, before);
@@ -270,9 +270,9 @@ TEST_F(TwoNodeTest, SubscribeForSubscriptions) {
   AttributeVector watch = LightPublication();
   watch.push_back(ClassIs(kClassData));
   watch.push_back(ClassEq(kClassInterest));
-  source_.Subscribe(watch, [&](const AttributeVector&) { ++interests_seen; });
+  (void)source_.Subscribe(watch, [&](const AttributeVector&) { ++interests_seen; });
   EXPECT_EQ(source_.stats().interests_originated, 0u);  // meta-subs don't flood
-  sink_.Subscribe(LightQuery(), [](const AttributeVector&) {});
+  (void)sink_.Subscribe(LightQuery(), [](const AttributeVector&) {});
   sim_.RunUntil(kSecond);
   EXPECT_EQ(interests_seen, 1);
   // Interest refreshes are new packets and are seen again.
@@ -282,7 +282,7 @@ TEST_F(TwoNodeTest, SubscribeForSubscriptions) {
 
 TEST_F(TwoNodeTest, LocalDeliveryOnSameNode) {
   int received = 0;
-  sink_.Subscribe(LightQuery(), [&](const AttributeVector&) { ++received; });
+  (void)sink_.Subscribe(LightQuery(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = sink_.Publish(LightPublication());
   sim_.RunUntil(100 * kMillisecond);
   EXPECT_EQ(sink_.Send(pub, Reading(1)), ApiResult::kOk);
@@ -292,14 +292,14 @@ TEST_F(TwoNodeTest, LocalDeliveryOnSameNode) {
 
 TEST_F(TwoNodeTest, InterestRefreshKeepsGradientsAlive) {
   std::vector<int32_t> received;
-  sink_.Subscribe(LightQuery(),
+  (void)sink_.Subscribe(LightQuery(),
                   [&](const AttributeVector& attrs) { received.push_back(SequenceOf(attrs)); });
   const PublicationHandle pub = source_.Publish(LightPublication());
   sim_.RunUntil(kSecond);
   // Send an event every 10 s for 10 minutes — far past the gradient
   // lifetime, so only refreshes keep the path alive.
   for (int i = 0; i < 60; ++i) {
-    sim_.After(i * 10 * kSecond, [&, i] { source_.Send(pub, Reading(i)); });
+    sim_.After(i * 10 * kSecond, [&, i] { (void)source_.Send(pub, Reading(i)); });
   }
   sim_.RunUntil(11 * kMinute);
   EXPECT_GT(received.size(), 55u);
@@ -327,7 +327,7 @@ class LineTest : public ::testing::Test {
 };
 
 TEST_F(LineTest, InterestFloodsAllHops) {
-  node(1).Subscribe(LightQuery(), [](const AttributeVector&) {});
+  (void)node(1).Subscribe(LightQuery(), [](const AttributeVector&) {});
   sim_.RunUntil(5 * kSecond);
   for (NodeId id = 2; id <= kNodes; ++id) {
     EXPECT_NE(node(id).gradients().FindExact(
@@ -343,12 +343,12 @@ TEST_F(LineTest, InterestFloodsAllHops) {
 
 TEST_F(LineTest, DataCrossesFourHops) {
   std::vector<int32_t> received;
-  node(1).Subscribe(LightQuery(),
+  (void)node(1).Subscribe(LightQuery(),
                     [&](const AttributeVector& attrs) { received.push_back(SequenceOf(attrs)); });
   const PublicationHandle pub = node(kNodes).Publish(LightPublication());
   sim_.RunUntil(2 * kSecond);
   for (int i = 0; i < 10; ++i) {
-    sim_.After(i * kSecond, [&, i] { node(kNodes).Send(pub, Reading(i)); });
+    sim_.After(i * kSecond, [&, i] { (void)node(kNodes).Send(pub, Reading(i)); });
   }
   sim_.RunUntil(30 * kSecond);
   // The first message is exploratory and establishes the path; everything
@@ -358,10 +358,10 @@ TEST_F(LineTest, DataCrossesFourHops) {
 }
 
 TEST_F(LineTest, ReinforcementMarksPath) {
-  node(1).Subscribe(LightQuery(), [](const AttributeVector&) {});
+  (void)node(1).Subscribe(LightQuery(), [](const AttributeVector&) {});
   const PublicationHandle pub = node(kNodes).Publish(LightPublication());
   sim_.RunUntil(2 * kSecond);
-  node(kNodes).Send(pub, Reading(0));  // exploratory
+  (void)node(kNodes).Send(pub, Reading(0));  // exploratory
   sim_.RunUntil(10 * kSecond);
   // Every intermediate node should now have a reinforced gradient toward
   // the sink side.
@@ -378,13 +378,13 @@ TEST_F(LineTest, ReinforcementMarksPath) {
   // Regular data is unicast along the path, not flooded: each hop forwards
   // exactly once.
   const uint64_t forwarded_before = node(3).stats().messages_forwarded;
-  node(kNodes).Send(pub, Reading(1));
+  (void)node(kNodes).Send(pub, Reading(1));
   sim_.RunUntil(12 * kSecond);
   EXPECT_EQ(node(3).stats().messages_forwarded, forwarded_before + 1);
 }
 
 TEST_F(LineTest, DuplicateFloodCopiesSuppressed) {
-  node(1).Subscribe(LightQuery(), [](const AttributeVector&) {});
+  (void)node(1).Subscribe(LightQuery(), [](const AttributeVector&) {});
   sim_.RunUntil(5 * kSecond);
   // Each node hears the interest from both line neighbors but re-floods
   // once; the second copy is a duplicate.
@@ -393,7 +393,7 @@ TEST_F(LineTest, DuplicateFloodCopiesSuppressed) {
 
 TEST_F(LineTest, PathRepairAfterNodeDeath) {
   std::vector<int32_t> received;
-  node(1).Subscribe(LightQuery(),
+  (void)node(1).Subscribe(LightQuery(),
                     [&](const AttributeVector& attrs) { received.push_back(SequenceOf(attrs)); });
   const PublicationHandle pub = node(kNodes).Publish(LightPublication());
   sim_.RunUntil(2 * kSecond);
@@ -401,11 +401,11 @@ TEST_F(LineTest, PathRepairAfterNodeDeath) {
   // kill an intermediate node and verify delivery resumes once interests
   // re-flood (the line reroutes through... nothing — so instead verify that
   // traffic stops, which is the honest expectation here).
-  node(kNodes).Send(pub, Reading(0));
+  (void)node(kNodes).Send(pub, Reading(0));
   sim_.RunUntil(4 * kSecond);
   ASSERT_EQ(received.size(), 1u);
   node(3).Kill();
-  node(kNodes).Send(pub, Reading(1));
+  (void)node(kNodes).Send(pub, Reading(1));
   sim_.RunUntil(8 * kSecond);
   EXPECT_EQ(received.size(), 1u);  // severed line: nothing arrives
 }
@@ -427,7 +427,7 @@ TEST(DiamondTest, ReroutesAroundDeadNode) {
         std::make_unique<DiffusionNode>(&sim, channel.get(), id, config, FastRadio()));
   }
   std::vector<int32_t> received;
-  nodes[0]->Subscribe(LightQuery(),
+  (void)nodes[0]->Subscribe(LightQuery(),
                       [&](const AttributeVector& attrs) { received.push_back(SequenceOf(attrs)); });
   const PublicationHandle pub = nodes[3]->Publish(LightPublication());
   sim.RunUntil(2 * kSecond);
@@ -436,7 +436,7 @@ TEST(DiamondTest, ReroutesAroundDeadNode) {
   int sent = 0;
   std::function<void()> tick = [&] {
     if (sent < 100) {
-      nodes[3]->Send(pub, Reading(sent++));
+      (void)nodes[3]->Send(pub, Reading(sent++));
       sim.After(6 * kSecond, tick);
     }
   };
@@ -466,12 +466,12 @@ TEST(CliqueScaleTest, ManySubscribersAllReceive) {
   }
   std::vector<int> counts(6, 0);
   for (size_t i = 0; i < 5; ++i) {
-    nodes[i]->Subscribe(LightQuery(), [&counts, i](const AttributeVector&) { ++counts[i]; });
+    (void)nodes[i]->Subscribe(LightQuery(), [&counts, i](const AttributeVector&) { ++counts[i]; });
   }
   const PublicationHandle pub = nodes[5]->Publish(LightPublication());
   sim.RunUntil(2 * kSecond);
   for (int i = 0; i < 5; ++i) {
-    sim.After(i * kSecond, [&, i] { nodes[5]->Send(pub, Reading(i)); });
+    sim.After(i * kSecond, [&, i] { (void)nodes[5]->Send(pub, Reading(i)); });
   }
   sim.RunUntil(60 * kSecond);
   for (size_t i = 0; i < 5; ++i) {
@@ -485,7 +485,7 @@ TEST(NeighborsTest, TracksHeardNodes) {
   DiffusionNode a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   DiffusionNode b(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   DiffusionNode c(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
-  a.Subscribe(LightQuery(), [](const AttributeVector&) {});
+  (void)a.Subscribe(LightQuery(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);
   const auto neighbors_b = b.Neighbors();
   EXPECT_NE(std::find(neighbors_b.begin(), neighbors_b.end(), 1u), neighbors_b.end());

@@ -49,8 +49,8 @@ TEST(FaultTest, KillCancelsPendingEventsAndHeapStaysCompacted) {
   DiffusionNode relay(&sim, channel.get(), 2, config, FastRadio());
   DiffusionNode source(&sim, channel.get(), 3, config, FastRadio());
 
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
-  relay.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)relay.Subscribe(Query(), [](const AttributeVector&) {});
   // Run into the jitter window: the relay has received the interest floods
   // and holds its rebroadcasts (plus two interest refreshes) pending.
   sim.RunUntil(500 * kMillisecond);
@@ -82,14 +82,14 @@ TEST(FaultTest, RebootedNodeResubscribesAndRedrawsGradientsFromScratch) {
   DiffusionNode observer(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
 
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   // The observer also subscribes so the sink holds remote-interest gradients.
-  observer.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)observer.Subscribe(Query(), [](const AttributeVector&) {});
   int interests_seen = 0;
   AttributeVector watch = Publication();
   watch.push_back(ClassIs(kClassData));
   watch.push_back(ClassEq(kClassInterest));
-  observer.Subscribe(watch, [&](const AttributeVector&) { ++interests_seen; });
+  (void)observer.Subscribe(watch, [&](const AttributeVector&) { ++interests_seen; });
 
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(20 * kSecond);
@@ -230,7 +230,7 @@ TEST(FaultTest, ChannelStatsParkAcrossDetachAndRestoreOnAttach) {
   DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
 
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(10 * kSecond);
   ASSERT_EQ(source.Send(pub, Reading(1)), ApiResult::kOk);
@@ -301,7 +301,7 @@ TEST(FaultTest, InjectorTracksDeadNodesAndStaleGradients) {
   injector.AddNode(&relay);
   injector.AddNode(&source);
 
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(10 * kSecond);
   // Everyone heard the sink's interest: gradients toward node 1 exist.
   EXPECT_EQ(injector.CountStaleGradients(), 0u);

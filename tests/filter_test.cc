@@ -61,10 +61,10 @@ TEST(FilterChainTest, PriorityOrderAndPassThrough) {
   });
 
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Event(1, 1));
+  (void)source.Send(pub, Event(1, 1));
   sim.RunUntil(5 * kSecond);
 
   ASSERT_GE(order.size(), 2u);
@@ -80,14 +80,14 @@ TEST(FilterChainTest, DroppingFilterStopsProcessing) {
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
 
   int filter_hits = 0;
-  sink.AddFilter(FilterMatch(), 10, [&](Message&, FilterApi&) {
-    ++filter_hits;  // swallow the message
+  (void)sink.AddFilter(FilterMatch(), 10, [&](Message&, FilterApi&) {
+    ++filter_hits;  // deliberately drops the message
   });
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Event(1, 1));
+  (void)source.Send(pub, Event(1, 1));
   sim.RunUntil(5 * kSecond);
   EXPECT_GE(filter_hits, 1);
   EXPECT_EQ(delivered, 0);
@@ -100,13 +100,14 @@ TEST(FilterChainTest, NonMatchingFilterIgnored) {
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
 
   int filter_hits = 0;
-  sink.AddFilter({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "other")}, 10,
-                 [&](Message&, FilterApi&) { ++filter_hits; });
+  // Would drop anything it matched; the point is that it must not match.
+  (void)sink.AddFilter({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "other")}, 10,
+                       [&](Message&, FilterApi&) { ++filter_hits; });
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Event(1, 1));
+  (void)source.Send(pub, Event(1, 1));
   sim.RunUntil(5 * kSecond);
   EXPECT_EQ(filter_hits, 0);
   EXPECT_EQ(delivered, 1);
@@ -118,15 +119,15 @@ TEST(FilterChainTest, RemoveFilterDisables) {
   DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   int filter_hits = 0;
-  const FilterHandle handle =
+  const FilterHandle handle =  // counts and drops; removed again below
       sink.AddFilter(FilterMatch(), 10, [&](Message&, FilterApi&) { ++filter_hits; });
   EXPECT_EQ(sink.RemoveFilter(handle), ApiResult::kOk);
   EXPECT_EQ(sink.RemoveFilter(handle), ApiResult::kUnknownHandle);
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Event(1, 1));
+  (void)source.Send(pub, Event(1, 1));
   sim.RunUntil(5 * kSecond);
   EXPECT_EQ(filter_hits, 0);
   EXPECT_EQ(delivered, 1);
@@ -143,10 +144,10 @@ TEST(FilterChainTest, FilterSeesLocallyOriginatedMessages) {
     ++source_filter_hits;
     api.SendMessage(std::move(message), handle);
   });
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Event(1, 1));
+  (void)source.Send(pub, Event(1, 1));
   sim.RunUntil(5 * kSecond);
   EXPECT_GE(source_filter_hits, 1);  // own outgoing data passed the chain
 }
@@ -162,7 +163,7 @@ TEST(DuplicateSuppressionTest, SuppressesRepeatedSequences) {
 
   DuplicateSuppressionFilter filter(&sink, FilterMatch(), 10);
   std::vector<int32_t> received;
-  sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
+  (void)sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
     const Attribute* seq = FindActual(attrs, kKeySequence);
     received.push_back(static_cast<int32_t>(seq->AsInt().value_or(-1)));
   });
@@ -172,8 +173,8 @@ TEST(DuplicateSuppressionTest, SuppressesRepeatedSequences) {
   // Both sources detect the same events (same sequence numbers).
   for (int i = 0; i < 5; ++i) {
     sim.After(i * kSecond, [&, i] {
-      src_a.Send(pub_a, Event(i, 1));
-      src_b.Send(pub_b, Event(i, 2));
+      (void)src_a.Send(pub_a, Event(i, 1));
+      (void)src_b.Send(pub_b, Event(i, 2));
     });
   }
   sim.RunUntil(60 * kSecond);
@@ -189,12 +190,12 @@ TEST(DuplicateSuppressionTest, PassesMessagesWithoutSequence) {
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   DuplicateSuppressionFilter filter(&sink, FilterMatch(), 10);
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, {Attribute::Float64(kKeyConfidence, AttrOp::kIs, 1.0)});
+  (void)source.Send(pub, {Attribute::Float64(kKeyConfidence, AttrOp::kIs, 1.0)});
   sim.RunUntil(3 * kSecond);  // let the exploratory round reinforce the path
-  source.Send(pub, {Attribute::Float64(kKeyConfidence, AttrOp::kIs, 2.0)});
+  (void)source.Send(pub, {Attribute::Float64(kKeyConfidence, AttrOp::kIs, 2.0)});
   sim.RunUntil(5 * kSecond);
   EXPECT_EQ(delivered, 2);
   EXPECT_EQ(filter.suppressed(), 0u);
@@ -207,14 +208,14 @@ TEST(DuplicateSuppressionTest, WindowBoundsMemory) {
   DuplicateSuppressionFilter filter(&node, FilterMatch(), 10, /*window=*/4);
   // Exercise via the filter's own counters using locally injected sends.
   int delivered = 0;
-  node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = node.Publish(Publication());
   sim.RunUntil(100 * kMillisecond);
   for (int i = 0; i < 10; ++i) {
-    node.Send(pub, Event(i, 1));
+    (void)node.Send(pub, Event(i, 1));
   }
   // Sequence 0 has been evicted from the window by now: it passes again.
-  node.Send(pub, Event(0, 1));
+  (void)node.Send(pub, Event(0, 1));
   sim.RunUntil(kSecond);
   EXPECT_EQ(filter.passed(), 11u);
 }
@@ -232,12 +233,12 @@ TEST(CountingAggregationTest, MergesConcurrentDetections) {
 
   CountingAggregationFilter filter(&sink, FilterMatch(), 10, 500 * kMillisecond);
   std::vector<AttributeVector> received;
-  sink.Subscribe(Query(), [&](const AttributeVector& attrs) { received.push_back(attrs); });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector& attrs) { received.push_back(attrs); });
   const PublicationHandle pub_a = src_a.Publish(Publication());
   const PublicationHandle pub_b = src_b.Publish(Publication());
   sim.RunUntil(kSecond);
-  src_a.Send(pub_a, Event(7, 1));
-  src_b.Send(pub_b, Event(7, 2));
+  (void)src_a.Send(pub_a, Event(7, 1));
+  (void)src_b.Send(pub_b, Event(7, 2));
   sim.RunUntil(10 * kSecond);
 
   ASSERT_EQ(received.size(), 1u);  // one aggregate, not two messages
@@ -266,17 +267,17 @@ TEST(CountingAggregationTest, ProbabilisticOrFusesConfidence) {
   CountingAggregationFilter fusion(&sink, FilterMatch(), 10, 500 * kMillisecond,
                                    ConfidenceMerge::kProbabilisticOr);
   std::vector<double> confidences;
-  sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
+  (void)sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
     const Attribute* confidence = FindActual(attrs, kKeyConfidence);
     confidences.push_back(confidence->AsDouble().value_or(-1));
   });
   const PublicationHandle pub_a = seismic.Publish(Publication());
   const PublicationHandle pub_b = infrared.Publish(Publication());
   sim.RunUntil(kSecond);
-  seismic.Send(pub_a, {Attribute::Int32(kKeySequence, AttrOp::kIs, 7),
+  (void)seismic.Send(pub_a, {Attribute::Int32(kKeySequence, AttrOp::kIs, 7),
                        Attribute::Int32(kKeySourceId, AttrOp::kIs, 1),
                        Attribute::Float64(kKeyConfidence, AttrOp::kIs, 0.5)});
-  infrared.Send(pub_b, {Attribute::Int32(kKeySequence, AttrOp::kIs, 7),
+  (void)infrared.Send(pub_b, {Attribute::Int32(kKeySequence, AttrOp::kIs, 7),
                         Attribute::Int32(kKeySourceId, AttrOp::kIs, 2),
                         Attribute::Float64(kKeyConfidence, AttrOp::kIs, 0.6)});
   sim.RunUntil(10 * kSecond);
@@ -295,10 +296,10 @@ TEST(LoggingFilterTest, CountsAndPassesThrough) {
   int observed = 0;
   monitor.SetObserver([&](const Message&) { ++observed; });
   int delivered = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Event(1, 1));
+  (void)source.Send(pub, Event(1, 1));
   sim.RunUntil(5 * kSecond);
   EXPECT_EQ(delivered, 1);
   EXPECT_GT(monitor.total(), 0u);
@@ -348,7 +349,7 @@ TEST(GeoScopeFilterTest, PrunesOutOfCorridorNodes) {
       Attribute::Float64(kKeySinkX, AttrOp::kIs, 0.0),
       Attribute::Float64(kKeySinkY, AttrOp::kIs, 0.0),
   };
-  sink.Subscribe(query, [](const AttributeVector&) {});
+  (void)sink.Subscribe(query, [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);
   EXPECT_GT(near_filter.passed(), 0u);
   EXPECT_GT(far_filter.pruned(), 0u);
@@ -365,7 +366,7 @@ TEST(GeoScopeFilterTest, PassesUnconstrainedInterests) {
   DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   DiffusionNode other(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   GeoScopeFilter filter(&other, Position{1000, 1000, 0}, 1.0, 10);
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);
   EXPECT_GT(filter.passed(), 0u);
   EXPECT_EQ(filter.pruned(), 0u);

@@ -222,7 +222,7 @@ TEST(MicroNodeTest, GradientTableFullDropsNewTags) {
   for (MicroTag tag = 1; tag <= 6; ++tag) {
     ASSERT_TRUE(sink.Subscribe(tag, [](MicroTag, int32_t, NodeId) {}));
     sim.RunUntil(sim.now() + kSecond);
-    sink.Unsubscribe(tag);
+    (void)sink.Unsubscribe(tag);
   }
   EXPECT_EQ(relay.ActiveGradients(), MicroNode::kMaxGradients);
   EXPECT_GT(relay.stats().gradient_table_full, 0u);
@@ -270,7 +270,7 @@ TEST(MicroGatewayTest, BridgesMoteReadingsIntoFullTier) {
   EXPECT_FALSE(gateway.TagTasked(kPhotoTag));
 
   std::vector<int32_t> readings;
-  user.Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "photo")},
+  (void)user.Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "photo")},
                  [&](const AttributeVector& attrs) {
                    const Attribute* value = FindActual(attrs, kKeyMicroValue);
                    readings.push_back(static_cast<int32_t>(value->AsInt().value_or(-1)));

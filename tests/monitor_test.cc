@@ -36,10 +36,10 @@ TEST(CacheFilterTest, ReplaysCachedDataToLateSubscriber) {
 
   // First subscriber pulls one reading through the relay (which caches it).
   int a_received = 0;
-  sink_a.Subscribe(Query(), [&](const AttributeVector&) { ++a_received; });
+  (void)sink_a.Subscribe(Query(), [&](const AttributeVector&) { ++a_received; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, {Attribute::Float64(kKeyIntensity, AttrOp::kIs, 21.5),
+  (void)source.Send(pub, {Attribute::Float64(kKeyIntensity, AttrOp::kIs, 21.5),
                     Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
   sim.RunUntil(3 * kSecond);
   ASSERT_EQ(a_received, 1);
@@ -48,7 +48,7 @@ TEST(CacheFilterTest, ReplaysCachedDataToLateSubscriber) {
   // The source now goes quiet. A *new* subscription from node 1 still gets
   // the cached reading, served by the relay.
   int late_received = 0;
-  sink_a.Subscribe(Query(), [&](const AttributeVector& attrs) {
+  (void)sink_a.Subscribe(Query(), [&](const AttributeVector& attrs) {
     const Attribute* value = FindActual(attrs, kKeyIntensity);
     EXPECT_DOUBLE_EQ(value->AsDouble().value_or(0), 21.5);
     ++late_received;
@@ -67,16 +67,16 @@ TEST(CacheFilterTest, DoesNotReplayStaleData) {
   CacheFilter cache(&relay, Query(), 10, /*capacity=*/16, /*max_age=*/5 * kSecond);
 
   int received = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
+  (void)source.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
   sim.RunUntil(3 * kSecond);
   ASSERT_EQ(received, 1);
 
   // Wait past max_age, then subscribe anew: nothing to replay.
   sim.RunUntil(30 * kSecond);
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
   sim.RunUntil(40 * kSecond);
   EXPECT_EQ(received, 1);
   EXPECT_EQ(cache.replays(), 0u);
@@ -87,11 +87,11 @@ TEST(CacheFilterTest, CapacityBoundsEntries) {
   auto channel = MakeCliqueChannel(&sim, 2);
   DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   CacheFilter cache(&node, Query(), 10, /*capacity=*/3);
-  node.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
   sim.RunUntil(100 * kMillisecond);
   for (int i = 0; i < 10; ++i) {
-    node.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i)});
+    (void)node.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i)});
   }
   sim.RunUntil(kSecond);
   EXPECT_LE(cache.size(), 3u);
@@ -103,12 +103,12 @@ TEST(CacheFilterTest, RetransmissionRefreshesInsteadOfDuplicating) {
   auto channel = MakeCliqueChannel(&sim, 2);
   DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   CacheFilter cache(&node, Query(), 10);
-  node.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
   sim.RunUntil(100 * kMillisecond);
   // The same attribute set sent twice occupies one cache entry.
-  node.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 5)});
-  node.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 5)});
+  (void)node.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 5)});
+  (void)node.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 5)});
   sim.RunUntil(kSecond);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.cached(), 1u);
@@ -129,10 +129,10 @@ TEST(NetworkMonitorTest, SnapshotsCountTraffic) {
   const NetworkMonitor::Snapshot before = monitor.TakeSnapshot();
   EXPECT_EQ(before.diffusion_messages, 0u);
 
-  nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
+  (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = nodes[2]->Publish(Publication());
   sim.RunUntil(kSecond);
-  nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
+  (void)nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
   sim.RunUntil(5 * kSecond);
 
   const NetworkMonitor::Snapshot after = monitor.TakeSnapshot();
@@ -153,7 +153,7 @@ TEST(NetworkMonitorTest, TopologyReportShowsHeardNeighbors) {
         std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, FastRadio()));
     monitor.Track(nodes.back().get());
   }
-  nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
+  (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);
   const std::string report = monitor.TopologyReport();
   // Node 2 heard both line neighbors; node 3 heard only node 2.
@@ -182,7 +182,7 @@ TEST(NetworkMonitorTest, NodeReportRendersAllNodes) {
   monitor.Track(&a);
   monitor.Track(&b);
   const NetworkMonitor::Snapshot begin = monitor.TakeSnapshot();
-  a.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)a.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(10 * kSecond);
   const std::string report = monitor.NodeReport(begin, 0.22);
   EXPECT_NE(report.find("node"), std::string::npos);
@@ -200,11 +200,11 @@ TEST(NetworkMonitorTest, PerNodeMetricsSumToAggregateSnapshot) {
         std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, FastRadio()));
     monitor.Track(nodes.back().get());
   }
-  nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
+  (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = nodes[2]->Publish(Publication());
   sim.RunUntil(kSecond);
-  nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
-  nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 2)});
+  (void)nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 1)});
+  (void)nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 2)});
   sim.RunUntil(10 * kSecond);
 
   // The registry view and the legacy aggregate snapshot describe the same
@@ -245,7 +245,7 @@ TEST(NetworkMonitorTest, SamplingBuildsPerNodeTimeSeries) {
   monitor.Track(&b);
 
   monitor.StartSampling(kSecond);
-  a.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)a.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond + 500 * kMillisecond);
   monitor.StopSampling();
   sim.RunUntil(20 * kSecond);
@@ -278,10 +278,10 @@ TEST(NetworkMonitorTest, PacketTraceQueryReplaysRecordedFlow) {
   EXPECT_TRUE(monitor.PacketTrace(1).empty());
 
   monitor.AttachTraceBuffer(&recorder);
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 9)});
+  (void)source.Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, 9)});
   sim.RunUntil(5 * kSecond);
 
   // Find the delivered data packet and replay its path.

@@ -62,6 +62,7 @@ TEST(NodeApiTest, HandleKindsAreDistinctTypes) {
   DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   const SubscriptionHandle sub = node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
+  // Callback drops everything; this test only exercises handle allocation.
   const FilterHandle filter = node.AddFilter(Query(), 1, [](Message&, FilterApi&) {});
   EXPECT_NE(sub.value(), pub.value());
   EXPECT_NE(pub.value(), filter.value());
@@ -74,7 +75,7 @@ TEST(NodeApiTest, PublishPreservesExplicitClassActual) {
   DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
   DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   int received = 0;
-  sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
+  (void)sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
     // Exactly one class actual must be present.
     int class_actuals = 0;
     for (const Attribute& attr : attrs) {
@@ -89,7 +90,7 @@ TEST(NodeApiTest, PublishPreservesExplicitClassActual) {
   attrs.push_back(ClassIs(kClassData));  // explicit: Publish must not duplicate
   const PublicationHandle pub = source.Publish(attrs);
   sim.RunUntil(kSecond);
-  source.Send(pub, Reading(1));
+  (void)source.Send(pub, Reading(1));
   sim.RunUntil(5 * kSecond);
   EXPECT_EQ(received, 1);
 }
@@ -102,18 +103,18 @@ TEST(NodeApiTest, TwoSubscriptionsSameAttrsBothDelivered) {
   int first = 0;
   int second = 0;
   const SubscriptionHandle a = sink.Subscribe(Query(), [&](const AttributeVector&) { ++first; });
-  sink.Subscribe(Query(), [&](const AttributeVector&) { ++second; });
+  (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++second; });
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(kSecond);
-  source.Send(pub, Reading(1));
+  (void)source.Send(pub, Reading(1));
   sim.RunUntil(3 * kSecond);
   EXPECT_EQ(first, 1);
   EXPECT_EQ(second, 1);
 
   // Dropping one must not tear down the shared local interest entry.
-  sink.Unsubscribe(a);
+  (void)sink.Unsubscribe(a);
   sim.RunUntil(4 * kSecond);
-  source.Send(pub, Reading(2));
+  (void)source.Send(pub, Reading(2));
   sim.RunUntil(6 * kSecond);
   EXPECT_EQ(first, 1);
   EXPECT_EQ(second, 2);
@@ -138,10 +139,10 @@ TEST(NodeApiTest, SamePriorityFiltersDoNotCascade) {
     api.SendMessage(std::move(message), second);
   });
   int delivered = 0;
-  node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = node.Publish(Publication());
   sim.RunUntil(100 * kMillisecond);
-  node.Send(pub, Reading(1));
+  (void)node.Send(pub, Reading(1));
   sim.RunUntil(kSecond);
   EXPECT_EQ(order, (std::vector<int>{1}));
   EXPECT_EQ(delivered, 1);  // the message still reached the core
@@ -155,15 +156,15 @@ TEST(NodeApiTest, FilterRemovingItselfMidCallbackIsSafe) {
   FilterHandle handle = kInvalidHandle;
   handle = node.AddFilter(Query(), 10, [&](Message& message, FilterApi& api) {
     ++hits;
-    node.RemoveFilter(handle);
+    (void)node.RemoveFilter(handle);
     api.SendMessage(std::move(message), handle);  // handle now dead: goes to core
   });
   int delivered = 0;
-  node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = node.Publish(Publication());
   sim.RunUntil(100 * kMillisecond);
-  node.Send(pub, Reading(1));
-  node.Send(pub, Reading(2));
+  (void)node.Send(pub, Reading(1));
+  (void)node.Send(pub, Reading(2));
   sim.RunUntil(kSecond);
   EXPECT_EQ(hits, 1);       // second message no longer filtered
   EXPECT_EQ(delivered, 2);  // both still delivered
@@ -183,12 +184,12 @@ TEST(NodeApiTest, TtlBoundsDataReach) {
   int one_hop = 0;
   int two_hops = 0;
   int three_hops = 0;
-  nodes[2]->Subscribe(Query(), [&](const AttributeVector&) { ++one_hop; });
-  nodes[1]->Subscribe(Query(), [&](const AttributeVector&) { ++two_hops; });
-  nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++three_hops; });
+  (void)nodes[2]->Subscribe(Query(), [&](const AttributeVector&) { ++one_hop; });
+  (void)nodes[1]->Subscribe(Query(), [&](const AttributeVector&) { ++two_hops; });
+  (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++three_hops; });
   const PublicationHandle pub = nodes[3]->Publish(Publication());
   sim.RunUntil(2 * kSecond);
-  nodes[3]->Send(pub, Reading(1));
+  (void)nodes[3]->Send(pub, Reading(1));
   sim.RunUntil(10 * kSecond);
   EXPECT_EQ(one_hop, 1);
   EXPECT_EQ(two_hops, 1);
@@ -212,13 +213,13 @@ TEST(NodeApiTest, FilterApiExposesGradientsAndNeighbors) {
   DiffusionNode sink(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   size_t seen_entries = 0;
   std::vector<NodeId> seen_neighbors;
-  observer.AddFilter({}, 10, [&](Message& message, FilterApi& api) {
+  (void)observer.AddFilter({}, 10, [&](Message& message, FilterApi& api) {
     seen_entries = api.gradients().size();
     seen_neighbors = api.Neighbors();
     EXPECT_EQ(api.node_id(), 1u);
     api.SendMessageToNext(std::move(message));
   });
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);
   // After the interest flood, the observer's filter ran with the gradient
   // table already holding the interest (gradient setup precedes the chain?
@@ -239,8 +240,8 @@ TEST(NodeApiTest, KilledNodeStopsRefreshingInterests) {
   AttributeVector watch = Publication();
   watch.push_back(ClassIs(kClassData));
   watch.push_back(ClassEq(kClassInterest));
-  observer.Subscribe(watch, [&](const AttributeVector&) { ++interests_seen; });
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)observer.Subscribe(watch, [&](const AttributeVector&) { ++interests_seen; });
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(10 * kSecond);
   EXPECT_EQ(interests_seen, 1);
   sink.Kill();

@@ -40,14 +40,14 @@ TEST(OnePhasePullTest, DeliversAcrossMultipleHops) {
                                                     FastRadio()));
   }
   std::vector<int32_t> received;
-  nodes[0]->Subscribe(Query(), [&](const AttributeVector& attrs) {
+  (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector& attrs) {
     received.push_back(static_cast<int32_t>(
         FindActual(attrs, kKeySequence)->AsInt().value_or(-1)));
   });
   const PublicationHandle pub = nodes[4]->Publish(Publication());
   sim.RunUntil(2 * kSecond);
   for (int i = 0; i < 10; ++i) {
-    sim.After(i * kSecond, [&, i] { nodes[4]->Send(pub, Reading(i)); });
+    sim.After(i * kSecond, [&, i] { (void)nodes[4]->Send(pub, Reading(i)); });
   }
   sim.RunUntil(30 * kSecond);
   EXPECT_EQ(received.size(), 10u);
@@ -65,7 +65,7 @@ TEST(OnePhasePullTest, NoExploratoryOrReinforcementTraffic) {
   int reinforcement = 0;
   int data = 0;
   // Observe everything passing the relay.
-  nodes[1]->AddFilter({}, 10, [&](Message& message, FilterApi& api) {
+  (void)nodes[1]->AddFilter({}, 10, [&](Message& message, FilterApi& api) {
     switch (message.type) {
       case MessageType::kExploratoryData:
         ++exploratory;
@@ -83,11 +83,11 @@ TEST(OnePhasePullTest, NoExploratoryOrReinforcementTraffic) {
     api.SendMessageToNext(std::move(message));  // observer only: pass to core
   });
   int delivered = 0;
-  nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = nodes[2]->Publish(Publication());
   sim.RunUntil(2 * kSecond);
   for (int i = 0; i < 15; ++i) {
-    sim.After(i * kSecond, [&, i] { nodes[2]->Send(pub, Reading(i)); });
+    sim.After(i * kSecond, [&, i] { (void)nodes[2]->Send(pub, Reading(i)); });
   }
   sim.RunUntil(kMinute);
   EXPECT_EQ(exploratory, 0);
@@ -113,11 +113,11 @@ TEST(OnePhasePullTest, SinglePathOnDiamond) {
                                                     FastRadio()));
   }
   int delivered = 0;
-  nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
+  (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = nodes[3]->Publish(Publication());
   sim.RunUntil(2 * kSecond);
   for (int i = 0; i < 10; ++i) {
-    sim.After(i * kSecond, [&, i] { nodes[3]->Send(pub, Reading(i)); });
+    sim.After(i * kSecond, [&, i] { (void)nodes[3]->Send(pub, Reading(i)); });
   }
   sim.RunUntil(30 * kSecond);
   EXPECT_EQ(delivered, 10);
@@ -145,7 +145,7 @@ TEST(OnePhasePullTest, RepairsViaInterestRefreshAfterNodeDeath) {
                                                     FastRadio()));
   }
   std::set<int32_t> received;
-  nodes[0]->Subscribe(Query(), [&](const AttributeVector& attrs) {
+  (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector& attrs) {
     received.insert(
         static_cast<int32_t>(FindActual(attrs, kKeySequence)->AsInt().value_or(-1)));
   });
@@ -154,7 +154,7 @@ TEST(OnePhasePullTest, RepairsViaInterestRefreshAfterNodeDeath) {
   int sent = 0;
   std::function<void()> tick = [&] {
     if (sent < 120) {
-      nodes[3]->Send(pub, Reading(sent++));
+      (void)nodes[3]->Send(pub, Reading(sent++));
       sim.After(6 * kSecond, tick);
     }
   };

@@ -522,7 +522,7 @@ TEST(DutyCycleTest, DiffusionWorksUnderDutyCyclingWithAddedLatency) {
           std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, config));
     }
     std::vector<SimTime> latencies;
-    nodes[0]->Subscribe(
+    (void)nodes[0]->Subscribe(
         {ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "t")},
         [&](const AttributeVector& attrs) {
           const Attribute* stamp = FindActual(attrs, kKeyTimestamp);
@@ -533,7 +533,7 @@ TEST(DutyCycleTest, DiffusionWorksUnderDutyCyclingWithAddedLatency) {
     sim.RunUntil(5 * kSecond);
     for (int i = 0; i < 10; ++i) {
       sim.After(i * 5 * kSecond + 2718281, [&, i] {
-        nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i),
+        (void)nodes[2]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i),
                              Attribute::Int64(kKeyTimestamp, AttrOp::kIs, sim.now())});
       });
     }

@@ -124,13 +124,13 @@ TEST(ShadowingTest, DiffusionRunsOverShadowedChannel) {
         std::make_unique<DiffusionNode>(&sim, &channel, id, DiffusionConfig{}, FastRadio()));
   }
   int received = 0;
-  nodes[0]->Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "t")},
+  (void)nodes[0]->Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "t")},
                       [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = nodes[8]->Publish({Attribute::String(kKeyType, AttrOp::kIs, "t")});
   sim.RunUntil(2 * kSecond);
   for (int i = 0; i < 20; ++i) {
     sim.After(i * kSecond, [&, i] {
-      nodes[8]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i)});
+      (void)nodes[8]->Send(pub, {Attribute::Int32(kKeySequence, AttrOp::kIs, i)});
     });
   }
   sim.RunUntil(2 * kMinute);

@@ -70,12 +70,12 @@ NodeStats RunLineFlow(TraceSink* trace_sink) {
   DiffusionNode relay(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
   DiffusionNode source(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
 
-  sink.Subscribe(Query(), [](const AttributeVector&) {});
+  (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());
   sim.RunUntil(2 * kSecond);
-  source.Send(pub, Reading(0));  // exploratory (send_count 0)
+  (void)source.Send(pub, Reading(0));  // exploratory (send_count 0)
   sim.RunUntil(4 * kSecond);
-  source.Send(pub, Reading(1));  // regular data on the reinforced path
+  (void)source.Send(pub, Reading(1));  // regular data on the reinforced path
   sim.RunUntil(6 * kSecond);
   return sink.stats();
 }

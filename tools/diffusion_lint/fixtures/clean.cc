@@ -1,0 +1,34 @@
+// diffusion-lint: scope(src)
+// Fixture with zero findings: idiomatic code for every rule. Mentions of
+// forbidden identifiers inside comments ("use std::random_device here") and
+// string literals must not trip the lexer either:
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+// rand(), time(nullptr), new Packet() -- comments are stripped before rules.
+const char* kDocString =
+    "wall-clock APIs like steady_clock::now() and rand() are banned in src/";
+
+struct Rng {
+  explicit Rng(uint64_t seed) : state(seed) {}
+  uint64_t Next() { return state += 0x9e3779b97f4a7c15ull; }
+  uint64_t state;
+};
+
+uint64_t Simulate(uint64_t seed, int64_t sim_time_us) {
+  Rng rng(seed);
+  std::map<int, uint64_t> per_node;
+  for (int node = 0; node < 4; ++node) {
+    per_node[node] = rng.Next() + static_cast<uint64_t>(sim_time_us);
+  }
+  uint64_t total = 0;
+  for (const auto& [node, value] : per_node) {
+    total += value + static_cast<uint64_t>(node);
+  }
+  return total + static_cast<uint64_t>(kDocString[0]);
+}
+
+}  // namespace fixture

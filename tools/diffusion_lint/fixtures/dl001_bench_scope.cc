@@ -1,0 +1,14 @@
+// diffusion-lint: scope(bench)
+// DL001 fixture: bench scope. Benchmarks time *themselves* with the wall
+// clock (the measurement, not the simulation), so DL001 does not apply here.
+#include <chrono>
+
+namespace fixture {
+
+int64_t MeasureSomething() {
+  const auto start = std::chrono::steady_clock::now();  // clean: bench scope
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// diffusion-lint: scope(src)
+// DL001 fixture: wall-clock reads in simulation code. Simulated time comes
+// from the EventScheduler; ambient clocks make runs irreproducible.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+int64_t Violations() {
+  auto a = std::chrono::system_clock::now();              // finding
+  auto b = std::chrono::steady_clock::now();              // finding
+  auto c = std::chrono::high_resolution_clock::now();     // finding
+  time_t t = time(nullptr);                               // finding
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);                    // finding
+  return t + ts.tv_nsec + a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count();
+}
+
+int64_t Suppressed() {
+  // diffusion-lint: allow(DL001)
+  auto now = std::chrono::steady_clock::now();
+  time_t t = time(nullptr);  // diffusion-lint: allow(wall-clock)
+  return t + now.time_since_epoch().count();
+}
+
+// Clean: simulated time is a plain integer handed in by the scheduler; the
+// words "clock" and "time" alone are fine.
+int64_t Clean(int64_t sim_time_us, int64_t clock_period) { return sim_time_us + clock_period; }
+
+}  // namespace fixture

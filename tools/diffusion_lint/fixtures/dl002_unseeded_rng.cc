@@ -1,0 +1,37 @@
+// diffusion-lint: scope(src)
+// DL002 fixture: ambient randomness. All randomness must flow from the
+// seeded Rng (src/util/rng.h) so a run is reproducible from its seed.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Violations() {
+  std::random_device rd;             // finding
+  std::mt19937 gen(12345);           // finding (even seeded: wrong engine)
+  std::default_random_engine eng;    // finding
+  srand(42);                         // finding
+  int r = rand();                    // finding
+  return r + static_cast<int>(rd()) + static_cast<int>(gen()) + static_cast<int>(eng());
+}
+
+unsigned Suppressed() {
+  // diffusion-lint: allow(DL002)
+  std::random_device rd;
+  return rd() + static_cast<unsigned>(rand());  // diffusion-lint: allow(unseeded-rng)
+}
+
+// Clean: the project Rng is seeded explicitly and forked per node. Names that
+// merely contain "rand" as a substring (operand, randomized_) do not trip the
+// word-boundary matcher.
+struct Rng {
+  explicit Rng(uint64_t seed) : state(seed) {}
+  uint64_t state;
+};
+uint64_t Clean(uint64_t operand) {
+  Rng rng(0x9e3779b97f4a7c15ull);
+  uint64_t randomized_total = rng.state + operand;
+  return randomized_total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// diffusion-lint: scope(src)
+// DL003 fixture: unordered-container iteration order reaching a trace/bench
+// sink. Hash iteration order is unspecified, so it breaks the byte-identical
+// output guarantee of the replication harness (--jobs 1 vs --jobs N).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct TraceSink {
+  void OnEvent(int node, int64_t value);
+};
+
+void Violation(TraceSink& sink) {
+  std::unordered_map<int, int64_t> per_node_bytes;
+  for (const auto& [node, bytes] : per_node_bytes) {  // finding
+    sink.OnEvent(node, bytes);
+  }
+}
+
+void Suppressed(TraceSink& sink) {
+  std::unordered_map<int, int64_t> per_node_bytes;
+  // Safe here because the sink buffers and sorts before writing.
+  // diffusion-lint: allow(DL003)
+  for (const auto& [node, bytes] : per_node_bytes) {
+    sink.OnEvent(node, bytes);
+  }
+}
+
+// Clean: either iterate an ordered container, or use the unordered map for
+// what it is good at (lookup) and emit from a sorted copy.
+void Clean(TraceSink& sink) {
+  std::unordered_map<int, int64_t> per_node_bytes;
+  std::map<int, int64_t> sorted(per_node_bytes.begin(), per_node_bytes.end());
+  for (const auto& [node, bytes] : sorted) {
+    sink.OnEvent(node, bytes);
+  }
+  // Iterating the unordered map is fine when nothing flows to a sink.
+  int64_t total = 0;
+  for (const auto& [node, bytes] : per_node_bytes) {
+    total += bytes + node;
+  }
+  (void)total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// diffusion-lint: scope(src)
+// DL004 fixture: ApiResult-returning teardown/send calls whose result is
+// silently dropped. The compiler enforces this via [[nodiscard]]; the lint
+// rule catches it in code that is not compiled on every platform.
+#include <cstdint>
+
+namespace fixture {
+
+struct ApiResult {};
+struct Handle {};
+
+struct Node {
+  ApiResult Send(Handle h, int extra);
+  ApiResult Unsubscribe(Handle h);
+  ApiResult Unpublish(Handle h);
+  ApiResult RemoveFilter(Handle h);
+};
+
+void Violations(Node& node, Node* ptr, Handle h) {
+  node.Send(h, 1);         // finding
+  node.Unsubscribe(h);     // finding
+  ptr->Unpublish(h);       // finding
+  ptr->RemoveFilter(h);    // finding
+}
+
+void Suppressed(Node& node, Handle h) {
+  // diffusion-lint: allow(DL004)
+  node.Send(h, 1);
+  node.Unsubscribe(h);  // diffusion-lint: allow(ignored-result)
+}
+
+void Clean(Node& node, Handle h) {
+  (void)node.Send(h, 1);                  // explicit discard
+  ApiResult result = node.Unsubscribe(h); // consumed
+  (void)result;
+  if (&node != nullptr) {
+    (void)node.Unpublish(h);
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// diffusion-lint: scope(src)
+// DL005 fixture: raw new/delete outside an arena. Ownership in this codebase
+// is containers and unique_ptr; raw allocation hides lifetime bugs from the
+// sanitizer matrix and the fault-injection teardown paths.
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Packet {
+  int size = 0;
+};
+
+Packet* Violations() {
+  Packet* p = new Packet();  // finding
+  delete p;                  // finding
+  return new Packet[4];      // finding
+}
+
+Packet* Suppressed() {
+  // diffusion-lint: allow(DL005)
+  Packet* p = new Packet();
+  delete p;  // diffusion-lint: allow(raw-new-delete)
+  return nullptr;
+}
+
+// Clean: smart pointers, containers, deleted special members.
+struct Pinned {
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+std::unique_ptr<Packet> Clean() {
+  std::vector<Packet> pool(16);
+  auto owned = std::make_unique<Packet>();
+  owned->size = pool.size();
+  return owned;
+}
+
+}  // namespace fixture

@@ -1,0 +1,59 @@
+// diffusion-lint: scope(src)
+// DL006 fixture: filter callbacks that swallow the message. A filter owns
+// the message it is handed (§2.3 / Figure 5): every path must re-inject it
+// (SendMessage / SendMessageToNext / SendToNeighbor), hand it to another
+// handler, or carry a comment documenting the deliberate drop.
+#include <functional>
+#include <utility>
+
+namespace fixture {
+
+struct Message {
+  int hops = 0;
+};
+struct FilterApi {
+  void SendMessage(Message m, int handle);
+  void SendMessageToNext(Message m);
+};
+struct Node {
+  int AddFilter(int priority, std::function<void(Message&, FilterApi&)> cb);
+};
+
+void Violation(Node& node) {
+  (void)node.AddFilter(10, [](Message& m, FilterApi&) {
+    m.hops += 1;  // finding: mutates, never re-injects, nothing documented
+  });
+}
+
+void EarlyReturnViolation(Node& node) {
+  (void)node.AddFilter(10, [](Message& m, FilterApi& api) {
+    if (m.hops > 8) {
+      return;  // finding: bare return before the send, not documented
+    }
+    api.SendMessageToNext(std::move(m));
+  });
+}
+
+void Documented(Node& node) {
+  // Deliberately drops loop-path messages: clean.
+  (void)node.AddFilter(10, [](Message& m, FilterApi& api) {
+    if (m.hops > 8) {
+      return;  // drop: hop budget exhausted
+    }
+    api.SendMessageToNext(std::move(m));
+  });
+}
+
+void Suppressed(Node& node) {
+  // diffusion-lint: allow(DL006)
+  (void)node.AddFilter(10, [](Message& m, FilterApi&) { m.hops += 1; });
+}
+
+void CleanReinject(Node& node) {
+  (void)node.AddFilter(10, [](Message& m, FilterApi& api) {
+    m.hops += 1;
+    api.SendMessage(std::move(m), 10);
+  });
+}
+
+}  // namespace fixture

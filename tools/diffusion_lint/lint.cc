@@ -1,0 +1,831 @@
+#include "tools/diffusion_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace diffusion {
+namespace lint {
+namespace {
+
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+// ---- preprocessing -------------------------------------------------------
+
+// `code` is the file with comments and string/char literal *contents*
+// replaced by spaces, byte-for-byte aligned with `raw` so offsets and line
+// numbers agree between the two views.
+struct Preprocessed {
+  std::string raw;
+  std::string code;
+  std::vector<size_t> line_starts;  // offset of the first byte of each line
+
+  int LineAt(size_t offset) const {
+    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+
+  std::string RawLine(int line) const {
+    if (line < 1 || line > static_cast<int>(line_starts.size())) {
+      return std::string();
+    }
+    const size_t begin = line_starts[line - 1];
+    const size_t end = line == static_cast<int>(line_starts.size()) ? raw.size()
+                                                                    : line_starts[line] - 1;
+    return raw.substr(begin, end - begin);
+  }
+
+  std::string CodeLine(int line) const {
+    if (line < 1 || line > static_cast<int>(line_starts.size())) {
+      return std::string();
+    }
+    const size_t begin = line_starts[line - 1];
+    const size_t end = line == static_cast<int>(line_starts.size()) ? code.size()
+                                                                    : line_starts[line] - 1;
+    return code.substr(begin, end - begin);
+  }
+
+  int line_count() const { return static_cast<int>(line_starts.size()); }
+};
+
+Preprocessed Preprocess(const std::string& text) {
+  Preprocessed result;
+  result.raw = text;
+  result.code = text;
+  std::string& code = result.code;
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code[i] = ' ';
+        } else if (c == '"') {
+          // R"delim( starts a raw string when the quote follows an R that is
+          // not part of a longer identifier (e.g. kR"..." is not raw).
+          if (i > 0 && code[i - 1] == 'R' && (i < 2 || !IsIdentChar(code[i - 2]))) {
+            size_t open = code.find('(', i + 1);
+            if (open != std::string::npos) {
+              raw_terminator = ")" + code.substr(i + 1, open - i - 1) + "\"";
+              for (size_t j = i + 1; j <= open && j < code.size(); ++j) {
+                if (code[j] != '\n') {
+                  code[j] = ' ';
+                }
+              }
+              i = open;
+              state = State::kRawString;
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          code[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          code[i] = ' ';
+          code[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code[i] = ' ';
+          if (next != '\n' && next != '\0') {
+            code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && code.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          for (size_t j = i; j < i + raw_terminator.size(); ++j) {
+            code[j] = ' ';
+          }
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = ' ';
+        }
+        break;
+    }
+  }
+
+  result.line_starts.push_back(0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n' && i + 1 < text.size()) {
+      result.line_starts.push_back(i + 1);
+    }
+  }
+  return result;
+}
+
+// ---- scope + suppressions ------------------------------------------------
+
+Scope ScopeFromPath(const std::string& path) {
+  const std::string normalized = "/" + path;
+  auto has = [&normalized](const char* component) {
+    return normalized.find(std::string("/") + component + "/") != std::string::npos;
+  };
+  if (has("src")) {
+    return Scope::kSrc;
+  }
+  if (has("bench")) {
+    return Scope::kBench;
+  }
+  if (has("tests")) {
+    return Scope::kTests;
+  }
+  if (has("examples")) {
+    return Scope::kExamples;
+  }
+  return Scope::kUnknown;
+}
+
+// Fixture files override their on-disk location with a directive in the
+// first few lines: `// diffusion-lint: scope(bench)`.
+Scope EffectiveScope(const std::string& path, const Preprocessed& pp) {
+  static const std::regex kScopeRe(R"(diffusion-lint:\s*scope\((\w+)\))");
+  const int limit = std::min(pp.line_count(), 5);
+  for (int line = 1; line <= limit; ++line) {
+    std::smatch match;
+    const std::string raw = pp.RawLine(line);
+    if (std::regex_search(raw, match, kScopeRe)) {
+      const std::string name = match[1];
+      if (name == "src") return Scope::kSrc;
+      if (name == "bench") return Scope::kBench;
+      if (name == "tests") return Scope::kTests;
+      if (name == "examples") return Scope::kExamples;
+    }
+  }
+  const Scope from_path = ScopeFromPath(path);
+  return from_path == Scope::kUnknown ? Scope::kSrc : from_path;
+}
+
+// allowed[line] holds rule ids/names suppressed for diagnostics on `line`.
+// An allow() comment covers its own line and the line below it.
+std::vector<std::set<std::string>> CollectSuppressions(const Preprocessed& pp) {
+  static const std::regex kAllowRe(R"(diffusion-lint:\s*allow\(([^)]*)\))");
+  std::vector<std::set<std::string>> allowed(static_cast<size_t>(pp.line_count()) + 2);
+  for (int line = 1; line <= pp.line_count(); ++line) {
+    const std::string raw = pp.RawLine(line);
+    std::smatch match;
+    if (!std::regex_search(raw, match, kAllowRe)) {
+      continue;
+    }
+    std::stringstream rules(match[1]);
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const size_t begin = rule.find_first_not_of(" \t");
+      const size_t end = rule.find_last_not_of(" \t");
+      if (begin == std::string::npos) {
+        continue;
+      }
+      const std::string trimmed = rule.substr(begin, end - begin + 1);
+      allowed[line].insert(trimmed);
+      if (line + 1 <= pp.line_count()) {
+        allowed[line + 1].insert(trimmed);
+      }
+    }
+  }
+  return allowed;
+}
+
+// ---- token matching ------------------------------------------------------
+
+struct Token {
+  const char* text;
+  bool word_start = true;  // previous char must not be an identifier char
+  bool word_end = false;   // next char must not be an identifier char
+  bool call = false;       // next char must be '(' (a function call)
+};
+
+bool MatchesAt(const std::string& code, size_t at, const Token& token) {
+  const size_t len = std::char_traits<char>::length(token.text);
+  if (code.compare(at, len, token.text) != 0) {
+    return false;
+  }
+  if (token.word_start && at > 0 && IsIdentChar(code[at - 1])) {
+    return false;
+  }
+  const size_t after = at + len;
+  if (token.call) {
+    return after < code.size() && code[after] == '(';
+  }
+  if (token.word_end && after < code.size() && IsIdentChar(code[after])) {
+    return false;
+  }
+  return true;
+}
+
+// Returns every line on which any of `tokens` occurs in `code`.
+std::vector<std::pair<int, std::string>> FindTokens(const Preprocessed& pp,
+                                                    const std::vector<Token>& tokens) {
+  std::vector<std::pair<int, std::string>> hits;
+  for (const Token& token : tokens) {
+    const std::string needle = token.text;
+    size_t at = pp.code.find(needle);
+    while (at != std::string::npos) {
+      if (MatchesAt(pp.code, at, token)) {
+        hits.emplace_back(pp.LineAt(at), needle);
+      }
+      at = pp.code.find(needle, at + 1);
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return hits;
+}
+
+// Offset of the brace/paren that closes the one at `open`. npos if unmatched.
+size_t MatchDelimiter(const std::string& code, size_t open) {
+  const char open_char = code[open];
+  const char close_char = open_char == '(' ? ')' : open_char == '[' ? ']' : '}';
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (code[i] == open_char) {
+      ++depth;
+    } else if (code[i] == close_char) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// ---- rules ---------------------------------------------------------------
+
+const RuleInfo kRules[] = {
+    {"DL001", "wall-clock",
+     "wall-clock reads in deterministic code (sim time comes from the scheduler)"},
+    {"DL002", "unseeded-rng",
+     "ambient randomness (only the seeded Rng injected through the simulator)"},
+    {"DL003", "unordered-trace-iteration",
+     "iteration over an unordered container feeding TraceSink/bench-JSON output"},
+    {"DL004", "ignored-result", "ApiResult-returning call used as a bare statement"},
+    {"DL005", "raw-new-delete", "raw new/delete outside a designated arena"},
+    {"DL006", "filter-drop",
+     "filter callback path that neither re-injects the message nor documents a drop"},
+};
+
+void Emit(std::vector<Diagnostic>* out, const std::string& file, int line, const RuleInfo& rule,
+          const std::string& message) {
+  out->push_back(Diagnostic{file, line, rule.id, rule.name, message});
+}
+
+// DL001 — only the scheduler may define time. Applies to src/tests/examples;
+// bench binaries legitimately read the wall clock to time *themselves*.
+void CheckWallClock(const std::string& file, const Preprocessed& pp, Scope scope,
+                    std::vector<Diagnostic>* out) {
+  if (scope == Scope::kBench) {
+    return;
+  }
+  static const std::vector<Token> kTokens = {
+      {"system_clock", true, true, false},  {"steady_clock", true, true, false},
+      {"high_resolution_clock", true, true, false},
+      {"gettimeofday", true, false, true},  {"clock_gettime", true, false, true},
+      {"localtime", true, false, true},     {"gmtime", true, false, true},
+      {"mktime", true, false, true},        {"clock", true, false, true},
+      {"time(nullptr", false, false, false}, {"time(NULL", false, false, false},
+      {"time(0)", false, false, false},
+  };
+  for (const auto& [line, token] : FindTokens(pp, kTokens)) {
+    Emit(out, file, line, kRules[0],
+         "'" + token + "' reads the wall clock; deterministic code must take time from "
+         "the event scheduler (SimTime)");
+  }
+}
+
+// DL002 — reproducibility requires every random bit to come from the seeded
+// Rng (src/util/rng.h), forked per node through the simulator.
+void CheckUnseededRng(const std::string& file, const Preprocessed& pp,
+                      std::vector<Diagnostic>* out) {
+  static const std::vector<Token> kTokens = {
+      {"random_device", true, true, false},
+      {"default_random_engine", true, true, false},
+      {"mt19937", true, false, false},
+      {"minstd_rand", true, false, false},
+      {"rand", true, false, true},
+      {"srand", true, false, true},
+      {"drand48", true, false, true},
+      {"lrand48", true, false, true},
+      {"mrand48", true, false, true},
+      {"arc4random", true, false, false},
+  };
+  for (const auto& [line, token] : FindTokens(pp, kTokens)) {
+    Emit(out, file, line, kRules[1],
+         "'" + token + "' is not reproducible from a seed; use the injected diffusion::Rng");
+  }
+}
+
+// Variable names declared in `code` with an unordered container type,
+// e.g. `std::unordered_map<NodeId, SimTime> neighbors_;`.
+std::set<std::string> HarvestUnorderedNames(const std::string& code) {
+  std::set<std::string> names;
+  size_t at = code.find("unordered_");
+  while (at != std::string::npos) {
+    size_t open = code.find('<', at);
+    if (open == std::string::npos) {
+      break;
+    }
+    // Match the template argument list (angle brackets nest for map values).
+    int depth = 0;
+    size_t close = std::string::npos;
+    for (size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '<') {
+        ++depth;
+      } else if (code[i] == '>') {
+        if (--depth == 0) {
+          close = i;
+          break;
+        }
+      } else if (code[i] == ';') {
+        break;  // malformed / not a declaration
+      }
+    }
+    if (close == std::string::npos) {
+      at = code.find("unordered_", at + 1);
+      continue;
+    }
+    size_t i = close + 1;
+    while (i < code.size() && (code[i] == ' ' || code[i] == '\n' || code[i] == '&' ||
+                               code[i] == '*' || code[i] == '\t')) {
+      ++i;
+    }
+    size_t name_end = i;
+    while (name_end < code.size() && IsIdentChar(code[name_end])) {
+      ++name_end;
+    }
+    if (name_end > i && !std::isdigit(static_cast<unsigned char>(code[i]))) {
+      names.insert(code.substr(i, name_end - i));
+    }
+    at = code.find("unordered_", close);
+  }
+  // `const` & co. can be picked up when the declaration is a return type;
+  // they are never range-for'd, so extra names only cost lookups.
+  names.erase("const");
+  names.erase("override");
+  names.erase("final");
+  return names;
+}
+
+bool ContainsWord(const std::string& text, const std::string& word) {
+  size_t at = text.find(word);
+  while (at != std::string::npos) {
+    const bool start_ok = at == 0 || !IsIdentChar(text[at - 1]);
+    const size_t after = at + word.size();
+    const bool end_ok = after >= text.size() || !IsIdentChar(text[after]);
+    if (start_ok && end_ok) {
+      return true;
+    }
+    at = text.find(word, at + 1);
+  }
+  return false;
+}
+
+// DL003 — the replication harness promises byte-identical trace/bench output
+// at any --jobs count; unordered iteration order reaching a sink breaks it.
+void CheckUnorderedTraceIteration(const std::string& file, const Preprocessed& pp,
+                                  const std::string& sibling_header,
+                                  std::vector<Diagnostic>* out) {
+  static const char* kSinkTokens[] = {"Trace(",      "TraceEvent", "TraceSink",
+                                      "OnEvent",     "BenchResult", "BenchJson"};
+  std::set<std::string> unordered_names = HarvestUnorderedNames(pp.code);
+  if (!sibling_header.empty()) {
+    const Preprocessed header = Preprocess(sibling_header);
+    for (const std::string& name : HarvestUnorderedNames(header.code)) {
+      unordered_names.insert(name);
+    }
+  }
+
+  const std::string& code = pp.code;
+  size_t at = code.find("for");
+  while (at != std::string::npos) {
+    const bool word_ok = (at == 0 || !IsIdentChar(code[at - 1])) &&
+                         (at + 3 >= code.size() || !IsIdentChar(code[at + 3]));
+    if (!word_ok) {
+      at = code.find("for", at + 1);
+      continue;
+    }
+    size_t open = at + 3;
+    while (open < code.size() && std::isspace(static_cast<unsigned char>(code[open]))) {
+      ++open;
+    }
+    if (open >= code.size() || code[open] != '(') {
+      at = code.find("for", at + 1);
+      continue;
+    }
+    const size_t close = MatchDelimiter(code, open);
+    if (close == std::string::npos) {
+      break;
+    }
+    const std::string head = code.substr(open + 1, close - open - 1);
+    // Find the range-for ':' at nesting depth 0, skipping '::'.
+    size_t colon = std::string::npos;
+    int depth = 0;
+    for (size_t i = 0; i < head.size(); ++i) {
+      const char c = head[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        --depth;
+      } else if (c == ':' && depth == 0) {
+        if (i + 1 < head.size() && head[i + 1] == ':') {
+          ++i;
+        } else if (i > 0 && head[i - 1] == ':') {
+          // second half of '::'
+        } else {
+          colon = i;
+          break;
+        }
+      }
+    }
+    if (colon == std::string::npos) {
+      at = code.find("for", close);
+      continue;
+    }
+    const std::string range_expr = head.substr(colon + 1);
+    bool unordered = range_expr.find("unordered_") != std::string::npos;
+    if (!unordered) {
+      for (const std::string& name : unordered_names) {
+        if (ContainsWord(range_expr, name)) {
+          unordered = true;
+          break;
+        }
+      }
+    }
+    if (!unordered) {
+      at = code.find("for", close);
+      continue;
+    }
+    // Loop body: a braced block or a single statement.
+    size_t body_begin = close + 1;
+    while (body_begin < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[body_begin]))) {
+      ++body_begin;
+    }
+    size_t body_end;
+    if (body_begin < code.size() && code[body_begin] == '{') {
+      body_end = MatchDelimiter(code, body_begin);
+      if (body_end == std::string::npos) {
+        body_end = code.size();
+      }
+    } else {
+      body_end = code.find(';', body_begin);
+      if (body_end == std::string::npos) {
+        body_end = code.size();
+      }
+    }
+    const std::string body = code.substr(body_begin, body_end - body_begin);
+    for (const char* sink : kSinkTokens) {
+      if (body.find(sink) != std::string::npos) {
+        Emit(out, file, pp.LineAt(at), kRules[2],
+             "iteration order of an unordered container reaches trace/bench output "
+             "('" + std::string(sink) + "' in the loop body); iterate a sorted copy instead");
+        break;
+      }
+    }
+    at = code.find("for", close);
+  }
+}
+
+// DL004 — backstop behind [[nodiscard]] ApiResult: a call used as a bare
+// statement silently conflates "no matching interest" with "dead handle".
+// Discarding deliberately is spelled `(void)node.Send(...)`.
+void CheckIgnoredResult(const std::string& file, const Preprocessed& pp,
+                        std::vector<Diagnostic>* out) {
+  static const std::regex kCallRe(
+      R"(^[A-Za-z_][A-Za-z0-9_]*(?:\[[^\]]*\]|\([^()]*\)|(?:->|\.)[A-Za-z_][A-Za-z0-9_]*)*)"
+      R"((?:->|\.)(Send|Unsubscribe|Unpublish|RemoveFilter)[ \t]*\()");
+  std::string previous_code;
+  for (int line = 1; line <= pp.line_count(); ++line) {
+    std::string code = pp.CodeLine(line);
+    const size_t begin = code.find_first_not_of(" \t");
+    if (begin == std::string::npos) {
+      continue;  // blank: does not update statement context
+    }
+    const size_t end = code.find_last_not_of(" \t");
+    code = code.substr(begin, end - begin + 1);
+    const char prev_last = previous_code.empty() ? ';' : previous_code.back();
+    previous_code = code;
+    const bool statement_start =
+        prev_last == ';' || prev_last == '{' || prev_last == '}' || prev_last == ':' ||
+        prev_last == ')';
+    if (!statement_start) {
+      continue;
+    }
+    std::smatch match;
+    if (std::regex_search(code, match, kCallRe)) {
+      Emit(out, file, line, kRules[3],
+           "result of '" + match[1].str() +
+               "' is ignored; check it or discard explicitly with (void)");
+    }
+  }
+}
+
+// DL005 — ownership lives in containers and unique_ptr; raw new/delete is
+// reserved for designated arena allocators (files named *arena*).
+void CheckRawNewDelete(const std::string& file, const Preprocessed& pp,
+                       std::vector<Diagnostic>* out) {
+  if (file.find("arena") != std::string::npos) {
+    return;
+  }
+  const std::string& code = pp.code;
+  auto prev_word = [&code](size_t at) {
+    size_t end = at;
+    while (end > 0 && std::isspace(static_cast<unsigned char>(code[end - 1]))) {
+      --end;
+    }
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(code[begin - 1])) {
+      --begin;
+    }
+    return code.substr(begin, end - begin);
+  };
+  auto prev_char = [&code](size_t at) -> char {
+    size_t i = at;
+    while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) {
+      --i;
+    }
+    return i > 0 ? code[i - 1] : '\0';
+  };
+  auto next_char = [&code](size_t after) -> char {
+    size_t i = after;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) {
+      ++i;
+    }
+    return i < code.size() ? code[i] : '\0';
+  };
+
+  for (const char* word : {"new", "delete"}) {
+    const size_t len = std::char_traits<char>::length(word);
+    size_t at = code.find(word);
+    while (at != std::string::npos) {
+      const bool word_ok = (at == 0 || !IsIdentChar(code[at - 1])) &&
+                           (at + len >= code.size() || !IsIdentChar(code[at + len]));
+      if (word_ok && prev_word(at) != "operator") {
+        const char next = next_char(at + len);
+        const bool is_expression =
+            IsIdentChar(next) || next == '(' || next == '[' || next == ':';
+        const bool deleted_function = word[0] == 'd' && prev_char(at) == '=';
+        if (is_expression && !deleted_function) {
+          Emit(out, file, pp.LineAt(at), kRules[4],
+               std::string("raw '") + word +
+                   "' outside a designated arena; use containers or std::make_unique");
+        }
+      }
+      at = code.find(word, at + len);
+    }
+  }
+}
+
+// DL006 — a filter callback owns the message it is handed (§2.3 / Figure 5):
+// every path must re-inject it (SendMessage / SendMessageToNext /
+// SendToNeighbor), forward it to a handler, or carry a comment mentioning
+// "drop" that documents the deliberate absorption.
+void CheckFilterDrop(const std::string& file, const Preprocessed& pp,
+                     std::vector<Diagnostic>* out) {
+  const std::string& code = pp.code;
+  auto has_send = [](const std::string& text) {
+    return text.find("SendMessage") != std::string::npos ||
+           text.find("SendToNeighbor") != std::string::npos;
+  };
+  auto drop_documented = [&pp](int line) {
+    // Window: two lines above the signature through the first body line.
+    for (int i = std::max(1, line - 2); i <= line + 1; ++i) {
+      std::string raw = pp.RawLine(i);
+      std::transform(raw.begin(), raw.end(), raw.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+      if (ContainsWord(raw, "drop") || ContainsWord(raw, "drops") ||
+          ContainsWord(raw, "dropped")) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t at = code.find("(Message&");
+  while (at != std::string::npos) {
+    const size_t params_end = MatchDelimiter(code, at);
+    if (params_end == std::string::npos) {
+      break;
+    }
+    const std::string params = code.substr(at, params_end - at + 1);
+    if (params.find("FilterApi&") == std::string::npos) {
+      at = code.find("(Message&", at + 1);
+      continue;
+    }
+    size_t body_begin = params_end + 1;
+    while (body_begin < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[body_begin])) ||
+            code.compare(body_begin, 8, "mutable ") == 0)) {
+      body_begin += code.compare(body_begin, 8, "mutable ") == 0 ? 8 : 1;
+    }
+    if (body_begin >= code.size() || code[body_begin] != '{') {
+      at = code.find("(Message&", params_end);
+      continue;  // declaration or std::function type, not a definition
+    }
+    const size_t body_end = MatchDelimiter(code, body_begin);
+    if (body_end == std::string::npos) {
+      break;
+    }
+    const std::string body = code.substr(body_begin, body_end - body_begin + 1);
+    const int signature_line = pp.LineAt(at);
+
+    // The Message parameter's name, for forwarding detection. May be empty
+    // (unnamed parameter: the callback cannot re-inject at all).
+    std::string param_name;
+    size_t name_at = at + std::char_traits<char>::length("(Message&");
+    while (name_at < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[name_at]))) {
+      ++name_at;
+    }
+    size_t name_end = name_at;
+    while (name_end < code.size() && IsIdentChar(code[name_end])) {
+      ++name_end;
+    }
+    param_name = code.substr(name_at, name_end - name_at);
+
+    bool forwarded = false;
+    if (!param_name.empty()) {
+      // Passed whole as an argument — e.g. `Run(message, api)` — to a
+      // handler that is itself subject to this rule.
+      const std::regex forward_re("[(,][ \t\n]*(std::move\\([ \t]*)?" + param_name +
+                                  "[ \t\n]*[),]");
+      forwarded = std::regex_search(body, forward_re);
+    }
+
+    if (!has_send(body) && !forwarded && !drop_documented(signature_line)) {
+      Emit(out, file, signature_line, kRules[5],
+           "filter callback never re-injects the message (SendMessage/SendMessageToNext) "
+           "and does not document a drop");
+    } else {
+      // Early bare `return;` before the first re-injection: the message is
+      // silently swallowed on that path.
+      const size_t first_send = std::min(body.find("SendMessage"), body.find("SendToNeighbor"));
+      size_t ret = body.find("return");
+      while (ret != std::string::npos) {
+        const bool word_ok = !IsIdentChar(body[ret - 1]) && ret + 6 < body.size();
+        size_t after = ret + 6;
+        while (after < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[after]))) {
+          ++after;
+        }
+        if (word_ok && after < body.size() && body[after] == ';' && ret < first_send) {
+          const int line = pp.LineAt(body_begin + ret);
+          if (!drop_documented(line)) {
+            Emit(out, file, line, kRules[5],
+                 "filter callback path returns before any re-injection without a "
+                 "documented drop");
+          }
+        }
+        ret = body.find("return", ret + 1);
+      }
+    }
+    at = code.find("(Message&", body_end);
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules(std::begin(kRules), std::end(kRules));
+  return rules;
+}
+
+std::string Render(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": [" + diagnostic.rule_id +
+         "/" + diagnostic.rule_name + "] " + diagnostic.message;
+}
+
+std::vector<Diagnostic> LintContent(const std::string& path, const std::string& content,
+                                    const std::string& sibling_header) {
+  const Preprocessed pp = Preprocess(content);
+  const Scope scope = EffectiveScope(path, pp);
+  const std::vector<std::set<std::string>> allowed = CollectSuppressions(pp);
+
+  std::vector<Diagnostic> diagnostics;
+  CheckWallClock(path, pp, scope, &diagnostics);
+  CheckUnseededRng(path, pp, &diagnostics);
+  CheckUnorderedTraceIteration(path, pp, sibling_header, &diagnostics);
+  CheckIgnoredResult(path, pp, &diagnostics);
+  CheckRawNewDelete(path, pp, &diagnostics);
+  CheckFilterDrop(path, pp, &diagnostics);
+
+  diagnostics.erase(
+      std::remove_if(diagnostics.begin(), diagnostics.end(),
+                     [&allowed](const Diagnostic& diagnostic) {
+                       if (diagnostic.line < 1 ||
+                           diagnostic.line >= static_cast<int>(allowed.size())) {
+                         return false;
+                       }
+                       const std::set<std::string>& rules =
+                           allowed[static_cast<size_t>(diagnostic.line)];
+                       return rules.count(diagnostic.rule_id) > 0 ||
+                              rules.count(diagnostic.rule_name) > 0;
+                     }),
+      diagnostics.end());
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule_id) < std::tie(b.file, b.line, b.rule_id);
+            });
+  return diagnostics;
+}
+
+bool LintFile(const std::string& path, std::vector<Diagnostic>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string sibling_header;
+  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
+    std::ifstream header(path.substr(0, path.size() - 3) + ".h");
+    if (header) {
+      std::stringstream header_buffer;
+      header_buffer << header.rdbuf();
+      sibling_header = header_buffer.str();
+    }
+  }
+
+  std::vector<Diagnostic> diagnostics = LintContent(path, buffer.str(), sibling_header);
+  out->insert(out->end(), diagnostics.begin(), diagnostics.end());
+  return true;
+}
+
+std::vector<std::string> CollectSourceFiles(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::set<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; it != end && !ec;
+           it.increment(ec)) {
+        if (!it->is_regular_file()) {
+          continue;
+        }
+        const std::string entry = it->path().string();
+        if (entry.find("/fixtures/") != std::string::npos) {
+          continue;
+        }
+        if (entry.size() > 3 && (entry.compare(entry.size() - 3, 3, ".cc") == 0 ||
+                                 entry.compare(entry.size() - 2, 2, ".h") == 0)) {
+          files.insert(entry);
+        }
+      }
+    } else {
+      files.insert(path);
+    }
+  }
+  return std::vector<std::string>(files.begin(), files.end());
+}
+
+}  // namespace lint
+}  // namespace diffusion
