@@ -81,8 +81,10 @@ done
 
 # The bench loop above re-emitted BENCH_matching.json and BENCH_fault.json
 # (refreshing the checked-in artifacts); hold them to the diffusion-bench-v1
-# schema so drift fails here and not in CI.
-./build/bench/matching_hotpath --check=BENCH_matching.json
+# schema so drift fails here and not in CI. The matching file additionally
+# carries the million-filter inequality section: the recorded candidate-set
+# reduction must stay at least 10x over the pre-index any-scan baseline.
+./build/bench/matching_hotpath --check=BENCH_matching.json --require-reduction=10
 ./build/bench/fault_recovery --check=BENCH_fault.json
 
 # Local repair must actually work: the crash scenario re-runs and fails if

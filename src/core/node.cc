@@ -1,6 +1,7 @@
 #include "src/core/node.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <set>
 
@@ -110,7 +111,9 @@ SubscriptionHandle DiffusionNode::Subscribe(AttributeSet attrs, DataCallback cal
   const SubscriptionHandle handle = subscription.handle;
   auto [it, inserted] = subscriptions_.emplace(handle, std::move(subscription));
   // Index after emplacing: the entry points into the map node (stable).
-  subscription_index_.Insert(handle.value(), 0, &it->second.attrs);
+  const bool indexed = subscription_index_.Insert(handle.value(), 0, &it->second.attrs);
+  assert(indexed);  // handle values are never reused
+  (void)indexed;
   if (!it->second.local_only) {
     FloodInterest(it->second);
     ScheduleRefresh(handle);
@@ -141,7 +144,12 @@ ApiResult DiffusionNode::Unsubscribe(SubscriptionHandle handle) {
   }
   const AttributeSet interest_attrs = it->second.interest_attrs;
   const bool local_only = it->second.local_only;
-  subscription_index_.Erase(handle.value(), it->second.attrs);
+  // Erase by id alone: the index's position map finds the entry even if the
+  // attributes were mutated while indexed (the old re-classification path
+  // could silently miss and leave a dangling entry).
+  const bool erased = subscription_index_.Erase(handle.value());
+  assert(erased);  // every live subscription is indexed
+  (void)erased;
   subscriptions_.erase(it);
   if (!local_only) {
     // Keep the local entry if another subscription still uses the same
@@ -229,6 +237,122 @@ ApiResult DiffusionNode::Send(PublicationHandle handle, const AttributeVector& e
   return ApiResult::kOk;
 }
 
+ApiResult DiffusionNode::SendBatch(PublicationHandle handle,
+                                   const std::vector<AttributeVector>& batch) {
+  if (batch.empty()) {
+    return ApiResult::kOk;
+  }
+  auto it = publications_.find(handle);
+  if (it == publications_.end()) {
+    return ApiResult::kUnknownHandle;
+  }
+  if (!alive_) {
+    return ApiResult::kNodeDead;
+  }
+
+  // Build every message's attribute set up front and select all filter
+  // winners with one batched index traversal.
+  std::vector<AttributeSet> all_attrs;
+  all_attrs.reserve(batch.size());
+  for (const AttributeVector& extra : batch) {
+    AttributeSet attrs = it->second.attrs;
+    attrs.Append(extra);
+    all_attrs.push_back(std::move(attrs));
+  }
+  std::vector<const AttributeSet*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const AttributeSet& attrs : all_attrs) {
+    ptrs.push_back(&attrs);
+  }
+
+  struct Winner {
+    bool found = false;
+    int32_t priority = 0;
+    uint32_t id = 0;
+  };
+  std::vector<Winner> winners(batch.size());
+  const uint64_t chain_version = filter_index_.version();
+  filter_index_.ForEachCandidateBatch(
+      ptrs.data(), ptrs.size(), [&](size_t i, const MatchIndexEntry& entry) {
+        Winner& best = winners[i];
+        if (best.found && (entry.priority < best.priority ||
+                           (entry.priority == best.priority && entry.id >= best.id))) {
+          return;
+        }
+        if (OneWayMatch(*entry.attrs, all_attrs[i])) {
+          best.found = true;
+          best.priority = entry.priority;
+          best.id = entry.id;
+        }
+      });
+
+  // Replay Send's per-message logic in order. Filter callbacks run between
+  // messages, so the handle, liveness and filter chain are re-validated
+  // every iteration; a mutated chain (version bump) invalidates the
+  // precomputed winners, and the rest of the batch re-selects per message.
+  ApiResult result = ApiResult::kOk;
+  auto record = [&result](ApiResult r) {
+    if (result == ApiResult::kOk) {
+      result = r;
+    }
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto pub_it = publications_.find(handle);
+    if (pub_it == publications_.end()) {
+      record(ApiResult::kUnknownHandle);
+      continue;
+    }
+    if (!alive_) {
+      record(ApiResult::kNodeDead);
+      continue;
+    }
+    Publication& publication = pub_it->second;
+
+    Message message;
+    message.attrs = std::move(all_attrs[i]);
+
+    gradients_.Expire(sim_->now());
+    const std::vector<InterestEntry*> entries = gradients_.MatchData(message.attrs);
+    if (entries.empty()) {
+      record(ApiResult::kNoMatchingInterest);
+      continue;
+    }
+
+    bool exploratory = false;
+    if (config_.variant == DiffusionVariant::kTwoPhasePull) {
+      bool has_reinforced_path = false;
+      bool remote_demand = false;
+      for (const InterestEntry* entry : entries) {
+        if (entry->HasReinforcedGradient()) {
+          has_reinforced_path = true;
+        }
+        if (!entry->gradients.empty()) {
+          remote_demand = true;
+        }
+      }
+      exploratory =
+          config_.exploratory_every <= 1 ||
+          publication.send_count % static_cast<uint64_t>(config_.exploratory_every) == 0 ||
+          (remote_demand && !has_reinforced_path);
+    }
+    ++publication.send_count;
+
+    message.type = exploratory ? MessageType::kExploratoryData : MessageType::kData;
+    message.origin = id_;
+    message.origin_seq = NextSeq();
+    message.ttl = config_.flood_ttl;
+    ++stats_.data_originated;
+    if (filter_index_.version() == chain_version) {
+      const Winner& best = winners[i];
+      InvokeFilterOrCore(std::move(message),
+                         best.found ? std::optional<uint32_t>(best.id) : std::nullopt);
+    } else {
+      DispatchToChain(std::move(message), std::numeric_limits<int32_t>::max());
+    }
+  }
+  return result;
+}
+
 FilterHandle DiffusionNode::AddFilter(AttributeSet attrs, int16_t priority,
                                       FilterCallback callback) {
   Filter filter;
@@ -238,7 +362,9 @@ FilterHandle DiffusionNode::AddFilter(AttributeSet attrs, int16_t priority,
   filter.callback = std::move(callback);
   const FilterHandle handle = filter.handle;
   auto [it, inserted] = filters_.emplace(handle, std::move(filter));
-  filter_index_.Insert(handle.value(), priority, &it->second.attrs);
+  const bool indexed = filter_index_.Insert(handle.value(), priority, &it->second.attrs);
+  assert(indexed);  // handle values are never reused
+  (void)indexed;
   return handle;
 }
 
@@ -247,7 +373,9 @@ ApiResult DiffusionNode::RemoveFilter(FilterHandle handle) {
   if (it == filters_.end()) {
     return ApiResult::kUnknownHandle;
   }
-  filter_index_.Erase(handle.value(), it->second.attrs);
+  const bool erased = filter_index_.Erase(handle.value());
+  assert(erased);  // every live filter is indexed
+  (void)erased;
   filters_.erase(it);
   return ApiResult::kOk;
 }
@@ -394,14 +522,18 @@ void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& byte
 }
 
 void DiffusionNode::DispatchToChain(Message message, int32_t below_priority) {
+  const std::optional<uint32_t> winner = SelectFilter(message.attrs, below_priority);
+  InvokeFilterOrCore(std::move(message), winner);
+}
+
+std::optional<uint32_t> DiffusionNode::SelectFilter(const AttributeSet& attrs,
+                                                    int32_t below_priority) {
   // Winner selection over index candidates only; ties break toward the
-  // lowest handle, matching the old ascending full-chain scan. The index may
-  // offer a candidate twice (duplicate message actuals) — selection is
-  // idempotent, so that is harmless.
+  // lowest handle, matching the old ascending full-chain scan.
   bool found = false;
   int32_t best_priority = 0;
   uint32_t best_id = 0;
-  filter_index_.ForEachCandidate(message.attrs, [&](const MatchIndexEntry& entry) {
+  filter_index_.ForEachCandidate(attrs, [&](const MatchIndexEntry& entry) {
     if (entry.priority >= below_priority) {
       return;
     }
@@ -412,18 +544,25 @@ void DiffusionNode::DispatchToChain(Message message, int32_t below_priority) {
     // Filters trigger on a one-way match: the filter's formals must be
     // satisfied by the message's actuals. (A message's own formals — e.g. an
     // interest's comparisons — don't constrain which filters see it.)
-    if (OneWayMatch(*entry.attrs, message.attrs)) {
+    if (OneWayMatch(*entry.attrs, attrs)) {
       found = true;
       best_priority = entry.priority;
       best_id = entry.id;
     }
   });
   if (!found) {
+    return std::nullopt;
+  }
+  return best_id;
+}
+
+void DiffusionNode::InvokeFilterOrCore(Message message, std::optional<uint32_t> filter_id) {
+  if (!filter_id.has_value()) {
     CoreProcess(message);
     return;
   }
   // Copy the callback: it may remove its own filter while running.
-  FilterCallback callback = filters_.find(FilterHandle{best_id})->second.callback;
+  FilterCallback callback = filters_.find(FilterHandle{*filter_id})->second.callback;
   callback(message, filter_api_);
 }
 
@@ -492,13 +631,12 @@ void DiffusionNode::ProcessInterest(Message& message) {
 
   // Inform local subscriptions-for-subscriptions (§4.1): publishers that
   // asked to hear about arriving interests. Candidate ids are collected
-  // first (sorted, deduplicated — same visit order as the old map scan)
-  // because a callback may itself subscribe or unsubscribe.
+  // first because a callback may itself subscribe or unsubscribe; the index
+  // visits each entry at most once in a deterministic order, so no
+  // sort+unique pass is needed.
   std::vector<uint32_t> watcher_ids;
   subscription_index_.ForEachCandidate(
       message.attrs, [&](const MatchIndexEntry& entry) { watcher_ids.push_back(entry.id); });
-  std::sort(watcher_ids.begin(), watcher_ids.end());
-  watcher_ids.erase(std::unique(watcher_ids.begin(), watcher_ids.end()), watcher_ids.end());
   for (uint32_t id : watcher_ids) {
     auto sub_it = subscriptions_.find(SubscriptionHandle{id});
     if (sub_it == subscriptions_.end()) {
@@ -813,15 +951,12 @@ void DiffusionNode::SendReinforcement(MessageType type, const InterestEntry& ent
 }
 
 void DiffusionNode::DeliverLocalData(const Message& message) {
-  // Candidates first (sorted + deduplicated: the same ascending-handle visit
-  // order as the old full map scan), then re-looked-up per callback — a
+  // Candidates first (the index visits each entry at most once, in its
+  // deterministic structural order), then re-looked-up per callback — a
   // callback may unsubscribe itself or others while we deliver.
   std::vector<uint32_t> candidate_ids;
   subscription_index_.ForEachCandidate(
       message.attrs, [&](const MatchIndexEntry& entry) { candidate_ids.push_back(entry.id); });
-  std::sort(candidate_ids.begin(), candidate_ids.end());
-  candidate_ids.erase(std::unique(candidate_ids.begin(), candidate_ids.end()),
-                      candidate_ids.end());
   bool delivered = false;
   for (uint32_t id : candidate_ids) {
     auto it = subscriptions_.find(SubscriptionHandle{id});

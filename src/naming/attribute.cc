@@ -2,10 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace diffusion {
 namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t FnvByte(uint64_t h, uint8_t byte) { return (h ^ byte) * kFnvPrime; }
+
+inline uint64_t FnvU16(uint64_t h, uint16_t v) {
+  h = FnvByte(h, static_cast<uint8_t>(v));
+  return FnvByte(h, static_cast<uint8_t>(v >> 8));
+}
+
+inline uint64_t FnvU32(uint64_t h, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    h = FnvByte(h, static_cast<uint8_t>(v >> shift));
+  }
+  return h;
+}
+
+inline uint64_t FnvU64(uint64_t h, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h = FnvByte(h, static_cast<uint8_t>(v >> shift));
+  }
+  return h;
+}
 
 // Applies a comparison operator with the actual's value on the left-hand
 // side: returns `lhs <op> rhs`.
@@ -91,6 +116,55 @@ const char* AttrTypeName(AttrType type) {
 Attribute::Attribute(AttrKey key, AttrOp op, Value value)
     : key_(key), op_(op), value_(std::move(value)) {
   type_ = static_cast<AttrType>(value_.index());
+  hash_ = ComputeHash();
+}
+
+uint64_t Attribute::ComputeHash() const {
+  // FNV-1a over the attribute's little-endian wire encoding, byte for byte
+  // the same sequence Serialize emits, but without materializing it.
+  uint64_t h = kFnvOffset;
+  h = FnvU32(h, key_);
+  h = FnvByte(h, static_cast<uint8_t>(op_));
+  h = FnvByte(h, static_cast<uint8_t>(type_));
+  switch (type_) {
+    case AttrType::kInt32:
+      h = FnvU32(h, static_cast<uint32_t>(std::get<int32_t>(value_)));
+      break;
+    case AttrType::kInt64:
+      h = FnvU64(h, static_cast<uint64_t>(std::get<int64_t>(value_)));
+      break;
+    case AttrType::kFloat32: {
+      uint32_t bits;
+      static_assert(sizeof(bits) == sizeof(float));
+      std::memcpy(&bits, &std::get<float>(value_), sizeof(bits));
+      h = FnvU32(h, bits);
+      break;
+    }
+    case AttrType::kFloat64: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double));
+      std::memcpy(&bits, &std::get<double>(value_), sizeof(bits));
+      h = FnvU64(h, bits);
+      break;
+    }
+    case AttrType::kString: {
+      const std::string& s = std::get<std::string>(value_);
+      h = FnvU16(h, static_cast<uint16_t>(s.size()));
+      for (char c : s) {
+        h = FnvByte(h, static_cast<uint8_t>(c));
+      }
+      break;
+    }
+    case AttrType::kBlob: {
+      const std::vector<uint8_t>& bytes = std::get<std::vector<uint8_t>>(value_);
+      h = FnvU16(h, static_cast<uint16_t>(bytes.size()));
+      for (uint8_t byte : bytes) {
+        h = FnvByte(h, byte);
+      }
+      break;
+    }
+  }
+  return h;
 }
 
 Attribute Attribute::Int32(AttrKey key, AttrOp op, int32_t value) {
@@ -176,6 +250,11 @@ bool Attribute::MatchesActual(const Attribute& actual) const {
 }
 
 bool Attribute::operator==(const Attribute& other) const {
+  // The cached wire-encoding hash rejects almost all mismatches without
+  // touching string/blob payload bytes.
+  if (hash_ != other.hash_) {
+    return false;
+  }
   return key_ == other.key_ && op_ == other.op_ && type_ == other.type_ && value_ == other.value_;
 }
 

@@ -54,7 +54,7 @@ class Attribute {
  public:
   using Value = std::variant<int32_t, int64_t, float, double, std::string, std::vector<uint8_t>>;
 
-  Attribute() = default;
+  Attribute() : Attribute(0, AttrOp::kIs, Value(int32_t{0})) {}
   Attribute(AttrKey key, AttrOp op, Value value);
 
   // Typed factories. The value's static type selects AttrType.
@@ -69,6 +69,12 @@ class Attribute {
   AttrOp op() const { return op_; }
   AttrType type() const { return type_; }
   const Value& value() const { return value_; }
+
+  // FNV-1a hash of the wire encoding (key | op | type | value), computed
+  // once at construction. Attributes are immutable after construction, so
+  // the cache can never go stale; equality checks and AttributeSet's
+  // incremental hash reuse it instead of re-walking string/blob bytes.
+  uint64_t hash() const { return hash_; }
 
   // An actual carries a literal/bound value (op == IS); everything else is a
   // formal parameter awaiting comparison (paper §3.2).
@@ -105,10 +111,13 @@ class Attribute {
   std::string ToString() const;
 
  private:
+  uint64_t ComputeHash() const;
+
   AttrKey key_ = 0;
   AttrOp op_ = AttrOp::kIs;
   AttrType type_ = AttrType::kInt32;
   Value value_ = int32_t{0};
+  uint64_t hash_ = 0;
 };
 
 // An attribute set; order is not semantically meaningful for matching but is

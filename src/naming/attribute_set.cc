@@ -3,82 +3,13 @@
 #include <algorithm>
 
 namespace diffusion {
-namespace {
-
-constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
-
-inline uint64_t FnvByte(uint64_t h, uint8_t byte) { return (h ^ byte) * kFnvPrime; }
-
-inline uint64_t FnvU16(uint64_t h, uint16_t v) {
-  h = FnvByte(h, static_cast<uint8_t>(v));
-  return FnvByte(h, static_cast<uint8_t>(v >> 8));
-}
-
-inline uint64_t FnvU32(uint64_t h, uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    h = FnvByte(h, static_cast<uint8_t>(v >> shift));
-  }
-  return h;
-}
-
-inline uint64_t FnvU64(uint64_t h, uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    h = FnvByte(h, static_cast<uint8_t>(v >> shift));
-  }
-  return h;
-}
-
-}  // namespace
 
 uint64_t AttributeHash(const Attribute& attr) {
-  // FNV-1a over the attribute's little-endian wire encoding, byte for byte
-  // the same sequence Attribute::Serialize emits, but without materializing
-  // it. HashAttributes (matching.cc) folds these per-attribute hashes the
-  // same way, so vector-era and canonical hashes agree.
-  uint64_t h = kFnvOffset;
-  h = FnvU32(h, attr.key());
-  h = FnvByte(h, static_cast<uint8_t>(attr.op()));
-  h = FnvByte(h, static_cast<uint8_t>(attr.type()));
-  switch (attr.type()) {
-    case AttrType::kInt32:
-      h = FnvU32(h, static_cast<uint32_t>(std::get<int32_t>(attr.value())));
-      break;
-    case AttrType::kInt64:
-      h = FnvU64(h, static_cast<uint64_t>(std::get<int64_t>(attr.value())));
-      break;
-    case AttrType::kFloat32: {
-      uint32_t bits;
-      static_assert(sizeof(bits) == sizeof(float));
-      std::memcpy(&bits, &std::get<float>(attr.value()), sizeof(bits));
-      h = FnvU32(h, bits);
-      break;
-    }
-    case AttrType::kFloat64: {
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(double));
-      std::memcpy(&bits, &std::get<double>(attr.value()), sizeof(bits));
-      h = FnvU64(h, bits);
-      break;
-    }
-    case AttrType::kString: {
-      const std::string& s = std::get<std::string>(attr.value());
-      h = FnvU16(h, static_cast<uint16_t>(s.size()));
-      for (char c : s) {
-        h = FnvByte(h, static_cast<uint8_t>(c));
-      }
-      break;
-    }
-    case AttrType::kBlob: {
-      const std::vector<uint8_t>& bytes = std::get<std::vector<uint8_t>>(attr.value());
-      h = FnvU16(h, static_cast<uint16_t>(bytes.size()));
-      for (uint8_t byte : bytes) {
-        h = FnvByte(h, byte);
-      }
-      break;
-    }
-  }
-  return h;
+  // The hash of the wire encoding is computed once in the Attribute
+  // constructor (attributes are immutable); this is now just the cached
+  // read. HashAttributes (matching.cc) folds these per-attribute hashes the
+  // same way AttributeSet does, so vector-era and canonical hashes agree.
+  return attr.hash();
 }
 
 AttributeSet::AttributeSet(AttributeVector attrs) : attrs_(std::move(attrs)) { Canonicalize(); }

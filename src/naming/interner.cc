@@ -1,0 +1,24 @@
+#include "src/naming/interner.h"
+
+namespace diffusion {
+
+InternId Interner::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const InternId id = static_cast<InternId>(names_.size());
+  auto [inserted, _] = ids_.emplace(std::string(name), id);
+  names_.push_back(&inserted->first);
+  return id;
+}
+
+std::optional<InternId> Interner::Find(std::string_view name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace diffusion

@@ -3,9 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "src/core/match_index.h"
 #include "src/core/message.h"
 #include "src/micro/micro_wire.h"
 #include "src/naming/attribute.h"
+#include "src/naming/interner.h"
 #include "src/naming/keys.h"
 #include "src/naming/matching.h"
 #include "src/radio/fragmentation.h"
@@ -147,6 +153,94 @@ TEST_P(FuzzTest, FragmentationRoundTripRandomSizes) {
     }
     ASSERT_TRUE(completed.has_value());
     EXPECT_EQ(completed->payload, payload);
+  }
+}
+
+TEST_P(FuzzTest, InternerRoundTripsRandomStrings) {
+  Interner interner;
+  std::vector<std::string> inserted;
+  for (int i = 0; i < 400; ++i) {
+    std::string name(static_cast<size_t>(rng_.NextInt(0, 24)), '\0');
+    for (char& c : name) {
+      // Include NUL and high bytes: the interner must treat names as opaque.
+      c = static_cast<char>(rng_.Next());
+    }
+    const InternId id = interner.Intern(name);
+    EXPECT_EQ(interner.Intern(name), id);  // stable on repeat
+    EXPECT_EQ(interner.NameOf(id), name);
+    ASSERT_TRUE(interner.Find(name).has_value());
+    EXPECT_EQ(*interner.Find(name), id);
+    inserted.push_back(std::move(name));
+  }
+  // Ids are dense: size equals the number of distinct names, and every
+  // earlier name still round-trips after later insertions (no invalidation).
+  std::vector<std::string> distinct = inserted;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  EXPECT_EQ(interner.size(), distinct.size());
+  for (const std::string& name : inserted) {
+    ASSERT_TRUE(interner.Find(name).has_value());
+    EXPECT_EQ(interner.NameOf(*interner.Find(name)), name);
+  }
+}
+
+TEST_P(FuzzTest, MatchIndexChurnAgreesWithFullScan) {
+  // Random insert/erase/query churn across every formal kind the index
+  // classifies; candidates must always cover the full-scan matches and never
+  // repeat.
+  MatchIndex index(kKeyConfidence);
+  std::vector<AttributeSet> storage;
+  storage.reserve(1024);
+  std::vector<std::pair<uint32_t, const AttributeSet*>> live;
+  uint32_t next_id = 1;
+  auto random_value = [&]() -> double {
+    switch (rng_.NextInt(0, 6)) {
+      case 0: return -std::numeric_limits<double>::infinity();
+      case 1: return std::numeric_limits<double>::infinity();
+      case 2: return -0.0;
+      case 3: return 0.0;
+      case 4: return std::numeric_limits<double>::quiet_NaN();
+      default: return static_cast<double>(rng_.NextInt(-40, 40)) / 4.0;
+    }
+  };
+  for (int step = 0; step < 300; ++step) {
+    const int action = static_cast<int>(rng_.NextInt(0, 9));
+    if (action < 5 && storage.size() < storage.capacity()) {
+      AttributeVector attrs;
+      const int formals = static_cast<int>(rng_.NextInt(0, 2));
+      for (int f = 0; f < formals; ++f) {
+        attrs.push_back(Attribute::Float64(
+            kKeyConfidence, static_cast<AttrOp>(rng_.NextInt(0, 7)), random_value()));
+      }
+      storage.emplace_back(std::move(attrs));
+      const uint32_t id = next_id++;
+      ASSERT_TRUE(index.Insert(id, 0, &storage.back()));
+      live.emplace_back(id, &storage.back());
+    } else if (action < 7 && !live.empty()) {
+      const size_t at = static_cast<size_t>(rng_.NextInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(index.Erase(live[at].first));
+      live[at] = live.back();
+      live.pop_back();
+    } else {
+      AttributeVector message;
+      const int actuals = static_cast<int>(rng_.NextInt(0, 3));
+      for (int a = 0; a < actuals; ++a) {
+        message.push_back(Attribute::Float64(kKeyConfidence, AttrOp::kIs, random_value()));
+      }
+      std::vector<uint32_t> candidates;
+      index.ForEachCandidate(message, [&](const MatchIndexEntry& entry) {
+        candidates.push_back(entry.id);
+      });
+      std::sort(candidates.begin(), candidates.end());
+      ASSERT_TRUE(std::adjacent_find(candidates.begin(), candidates.end()) == candidates.end())
+          << "duplicate candidate at step " << step;
+      for (const auto& [id, attrs] : live) {
+        if (OneWayMatch(*attrs, message)) {
+          ASSERT_TRUE(std::binary_search(candidates.begin(), candidates.end(), id))
+              << "lost match for entry " << id << " at step " << step;
+        }
+      }
+    }
   }
 }
 

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/apps/animal.h"
 #include "src/naming/attribute.h"
 #include "src/naming/keys.h"
@@ -223,6 +226,39 @@ TEST_P(MatchingPropertyTest, HashConsistentWithExactMatch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, MatchingPropertyTest, ::testing::Range(0, 30));
+
+// Inequality operators over the doubles that break naive orderings: the
+// merge-scan fast path must agree with the linear reference on every
+// (formal op, formal value, actual value) combination, including NaN (never
+// satisfies a comparison, always satisfies NE), the infinities, -0.0
+// (equal to +0.0), and the extremes of the exponent range.
+TEST(MatchingTest, ExtremeValueInequalityAgreesWithLinearReference) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const double values[] = {-kInf, -1e308, -5.0, -1e-308, -0.0, 0.0,
+                           1e-308, 5.0,   1e308, kInf,   kNaN};
+  const AttrOp ops[] = {AttrOp::kEq, AttrOp::kNe, AttrOp::kLe, AttrOp::kGe,
+                        AttrOp::kLt, AttrOp::kGt, AttrOp::kEqAny};
+  for (AttrOp op : ops) {
+    for (double formal_value : values) {
+      for (double actual_value : values) {
+        const AttributeVector a = {Conf(op, formal_value)};
+        const AttributeVector b = {ConfIs(actual_value)};
+        const bool linear = OneWayMatchLinear(a, b);
+        EXPECT_EQ(OneWayMatch(AttributeSet(a), AttributeSet(b)), linear)
+            << AttrOpName(op) << " " << formal_value << " vs IS " << actual_value;
+        // Spot-check a few ground truths the reference itself must honor.
+        if (std::isnan(actual_value) || std::isnan(formal_value)) {
+          EXPECT_EQ(linear, op == AttrOp::kNe || op == AttrOp::kEqAny);
+        }
+      }
+    }
+  }
+  // -0.0 and +0.0 are the same number to every comparison.
+  EXPECT_TRUE(OneWayMatch(AttributeSet({Conf(AttrOp::kEq, -0.0)}), AttributeSet({ConfIs(0.0)})));
+  EXPECT_TRUE(OneWayMatch(AttributeSet({Conf(AttrOp::kLe, -0.0)}), AttributeSet({ConfIs(0.0)})));
+  EXPECT_FALSE(OneWayMatch(AttributeSet({Conf(AttrOp::kLt, 0.0)}), AttributeSet({ConfIs(-0.0)})));
+}
 
 }  // namespace
 }  // namespace diffusion
