@@ -51,7 +51,7 @@ int Main() {
   const RadioConfig rconfig = TestbedRadioConfig();
   std::map<NodeId, std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id : layout.node_ids) {
-    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, dconfig, rconfig);
+    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, NodeOptions{.diffusion = dconfig, .radio = rconfig});
   }
   SurveillanceConfig sconfig;
   std::vector<std::unique_ptr<DuplicateSuppressionFilter>> filters;

@@ -58,9 +58,9 @@ int Main() {
   Channel mote_channel(&sim, std::move(mote_topology));
 
   const RadioConfig rconfig = TestbedRadioConfig();
-  DiffusionNode user(&sim, &upper, 1, DiffusionConfig{}, rconfig);
-  DiffusionNode relay(&sim, &upper, 2, DiffusionConfig{}, rconfig);
-  DiffusionNode gateway_full(&sim, &upper, 3, DiffusionConfig{}, rconfig);
+  DiffusionNode user(&sim, &upper, 1, NodeOptions{.radio = rconfig});
+  DiffusionNode relay(&sim, &upper, 2, NodeOptions{.radio = rconfig});
+  DiffusionNode gateway_full(&sim, &upper, 3, NodeOptions{.radio = rconfig});
   MicroNode gateway_mote(&sim, &mote_channel, 100, rconfig);
   MicroNode mote_relay(&sim, &mote_channel, 101, rconfig);
   MicroNode sensor(&sim, &mote_channel, 102, rconfig);

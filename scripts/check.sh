@@ -91,6 +91,20 @@ done
 # delivery does not resume within 2x the interest refresh period.
 ./build/bench/fault_recovery --scenario=crash --out=build/BENCH_fault_crash.json --require-repair
 
+# Congestion suite (docs/CONGESTION.md). The bench loop refreshed
+# BENCH_congestion.json; hold it to the schema, then enforce the shaping
+# gates: the load sweep's top point must deliver at least 2x unshaped, a
+# flooding node must cost shaped well-behaved traffic at most 20% against a
+# flooder-free baseline (18 min: short flooder runs are warmup-dominated),
+# and two shaped sinks must split delivery within 40% of each other.
+./build/bench/congestion_sweep --check=BENCH_congestion.json
+./build/bench/congestion_sweep --scenario=load_sweep \
+  --out=build/BENCH_congestion_sweep.json --require-shaping-gain=2.0
+./build/bench/congestion_sweep --scenario=flooder --minutes=18 \
+  --out=build/BENCH_congestion_flood.json --require-flood-protection=0.2
+./build/bench/congestion_sweep --scenario=fairness \
+  --out=build/BENCH_congestion_fair.json --require-fairness=0.6
+
 # Parallel replication must not change results: the Figure-8 sweep's bench
 # JSON and merged trace are byte-identical at --jobs=1 and --jobs=8.
 ./build/bench/fig8_aggregation --runs=2 --minutes=1 --jobs=1 \

@@ -50,14 +50,14 @@ std::vector<NodeId> FilterApi::Neighbors() const { return node_->Neighbors(); }
 
 // ---- DiffusionNode ----
 
-DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, DiffusionConfig config,
-                             RadioConfig radio_config)
+DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, NodeOptions options)
     : sim_(sim),
       id_(id),
-      config_(config),
-      radio_(sim, channel, id, radio_config),
+      config_(options.diffusion),
+      traffic_(options.traffic),
+      radio_(sim, channel, id, options.EffectiveRadio()),
       filter_api_(this),
-      seen_packets_(config.data_cache_size),
+      seen_packets_(options.diffusion.data_cache_size),
       rng_(sim->rng().Fork()) {
   radio_.SetReceiveCallback(
       [this](NodeId from, const std::vector<uint8_t>& bytes) { OnRadioReceive(from, bytes); });
@@ -69,6 +69,11 @@ DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, Diffus
     }
   });
 }
+
+DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, DiffusionConfig config,
+                             RadioConfig radio_config)
+    : DiffusionNode(sim, channel, id,
+                    NodeOptions{.diffusion = std::move(config), .radio = radio_config}) {}
 
 DiffusionNode::~DiffusionNode() {
   for (auto& [handle, subscription] : subscriptions_) {
@@ -106,6 +111,14 @@ SubscriptionHandle DiffusionNode::Subscribe(AttributeSet attrs, DataCallback cal
     // "An implicit 'class IS interest' attribute is added to identify this
     // message as an interest" (§3.2).
     subscription.interest_attrs.push_back(ClassIs(kClassInterest));
+  }
+
+  if (traffic_.backoff.enabled && !subscription.local_only) {
+    // B2: discovery starts with a small ring; AdvanceInterestScope widens it
+    // on refreshes that elapse without data.
+    subscription.ring_ttl = static_cast<uint8_t>(std::min<unsigned>(
+        config_.flood_ttl, std::max<unsigned>(1, traffic_.backoff.initial_ttl)));
+    subscription.refresh_period = config_.interest_refresh;
   }
 
   const SubscriptionHandle handle = subscription.handle;
@@ -415,6 +428,13 @@ void DiffusionNode::RegisterMetrics(MetricsRegistry* registry) {
   registry->RegisterCounter(id_, "diffusion.stale_filter_reinjections", [this] {
     return static_cast<double>(stats_.stale_filter_reinjections);
   });
+  registry->RegisterCounter(id_, "diffusion.transmits_jittered",
+                            [this] { return static_cast<double>(stats_.transmits_jittered); });
+  registry->RegisterCounter(id_, "diffusion.interest_scope_expansions", [this] {
+    return static_cast<double>(stats_.interest_scope_expansions);
+  });
+  registry->RegisterCounter(id_, "diffusion.refresh_backoffs",
+                            [this] { return static_cast<double>(stats_.refresh_backoffs); });
   registry->RegisterGauge(id_, "diffusion.gradient_entries",
                           [this] { return static_cast<double>(gradients_.size()); });
   // §6.1 energy model evaluated over the whole run so far.
@@ -653,7 +673,7 @@ void DiffusionNode::ProcessInterest(Message& message) {
     Message out = message;
     out.next_hop = kBroadcastId;
     ++stats_.interests_originated;
-    TransmitMessage(out);
+    TransmitShaped(std::move(out));
   } else if (message.ttl > 1) {
     Message out = message;
     --out.ttl;
@@ -774,7 +794,7 @@ void DiffusionNode::ProcessData(Message& message) {
       ++stats_.messages_forwarded;
       TransmitAfterJitter(std::move(out));
     } else {
-      TransmitMessage(out);
+      TransmitShaped(std::move(out));
     }
   } else {
     for (NodeId hop : next_hops) {
@@ -783,7 +803,7 @@ void DiffusionNode::ProcessData(Message& message) {
         ++stats_.messages_forwarded;
         TransmitAfterJitter(out);
       } else {
-        TransmitMessage(out);
+        TransmitShaped(out);
       }
     }
   }
@@ -850,6 +870,41 @@ void DiffusionNode::ProcessNegativeReinforcement(Message& message) {
   }
 }
 
+SimDuration DiffusionNode::JitterWindowFor(MessageType type) const {
+  if (!traffic_.jitter.enabled) {
+    return 0;
+  }
+  switch (type) {
+    case MessageType::kInterest:
+    case MessageType::kPositiveReinforcement:
+    case MessageType::kNegativeReinforcement:
+      return traffic_.jitter.control_window;
+    case MessageType::kData:
+      return traffic_.jitter.data_window;
+    case MessageType::kExploratoryData:
+      return traffic_.jitter.refresh_window;
+  }
+  return 0;
+}
+
+void DiffusionNode::TransmitShaped(Message message) {
+  // B1: desynchronize originated traffic. With jitter disabled this is a
+  // plain TransmitMessage — no RNG draw, no extra event.
+  const SimDuration window = JitterWindowFor(message.type);
+  if (window <= 0) {
+    TransmitMessage(message);
+    return;
+  }
+  ++stats_.transmits_jittered;
+  const SimDuration delay = rng_.NextInt(0, window);
+  auto id_holder = std::make_shared<EventId>(kInvalidEventId);
+  *id_holder = sim_->After(delay, [this, message = std::move(message), id_holder] {
+    pending_transmits_.erase(*id_holder);
+    TransmitMessage(message);
+  });
+  pending_transmits_.insert(*id_holder);
+}
+
 void DiffusionNode::TransmitAfterJitter(Message message) {
   if (config_.forward_delay_jitter <= 0) {
     TransmitMessage(message);
@@ -863,6 +918,27 @@ void DiffusionNode::TransmitAfterJitter(Message message) {
   });
   pending_transmits_.insert(*id_holder);
 }
+
+namespace {
+
+// Trust-model mapping into the MAC's priority classes: control traffic
+// (interests, reinforcements) keeps paths alive, data is the payload, and
+// exploratory refreshes are the first to shed under congestion.
+MacPriority PriorityFor(MessageType type) {
+  switch (type) {
+    case MessageType::kInterest:
+    case MessageType::kPositiveReinforcement:
+    case MessageType::kNegativeReinforcement:
+      return MacPriority::kControl;
+    case MessageType::kData:
+      return MacPriority::kData;
+    case MessageType::kExploratoryData:
+      return MacPriority::kRefresh;
+  }
+  return MacPriority::kData;
+}
+
+}  // namespace
 
 void DiffusionNode::TransmitMessage(const Message& message) {
   if (!alive_) {
@@ -898,7 +974,8 @@ void DiffusionNode::TransmitMessage(const Message& message) {
     }
     sim_->Trace(TraceEvent{sim_->now(), kind, id_, message.next_hop, message.PacketId(), value});
   }
-  radio_.SendMessage(message.next_hop, tx_writer_.data());
+  radio_.SendMessage(message.next_hop, tx_writer_.data(), PriorityFor(message.type),
+                     /*originated=*/message.origin == id_);
 }
 
 void DiffusionNode::FloodInterest(Subscription& subscription) {
@@ -907,8 +984,50 @@ void DiffusionNode::FloodInterest(Subscription& subscription) {
   message.origin = id_;
   message.origin_seq = NextSeq();
   message.ttl = config_.flood_ttl;
+  if (traffic_.backoff.enabled && subscription.ring_ttl > 0) {
+    message.ttl = subscription.ring_ttl;
+  }
+  subscription.data_since_flood = false;
   message.attrs = subscription.interest_attrs;
   DispatchToChain(std::move(message), std::numeric_limits<int32_t>::max());
+}
+
+void DiffusionNode::AdvanceInterestScope(Subscription& subscription) {
+  if (!traffic_.backoff.enabled || subscription.local_only) {
+    return;
+  }
+  if (subscription.data_since_flood) {
+    // Data flowed this round: discovery succeeded, so return to the normal
+    // cadence. The ring stays at whatever scope reached the source.
+    subscription.refresh_period = config_.interest_refresh;
+    return;
+  }
+  const unsigned max_ttl = config_.flood_ttl;
+  if (subscription.ring_ttl < max_ttl) {
+    const unsigned step = std::max<unsigned>(1, traffic_.backoff.ttl_step);
+    subscription.ring_ttl =
+        static_cast<uint8_t>(std::min<unsigned>(max_ttl, subscription.ring_ttl + step));
+    ++stats_.interest_scope_expansions;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kInterestScopeChanged, id_,
+                             kBroadcastId, subscription.handle.value(),
+                             static_cast<int64_t>(subscription.ring_ttl)});
+    }
+    return;
+  }
+  // Ring fully open and still nothing: the retry itself backs off.
+  const SimDuration stretched = std::min<SimDuration>(
+      traffic_.backoff.max_refresh,
+      static_cast<SimDuration>(static_cast<double>(subscription.refresh_period) *
+                               traffic_.backoff.backoff_factor));
+  if (stretched > subscription.refresh_period) {
+    subscription.refresh_period = stretched;
+    ++stats_.refresh_backoffs;
+    if (sim_->tracing()) {
+      sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kRefreshBackoff, id_, kBroadcastId,
+                             subscription.handle.value(), static_cast<int64_t>(stretched)});
+    }
+  }
 }
 
 void DiffusionNode::ScheduleRefresh(SubscriptionHandle handle) {
@@ -916,10 +1035,12 @@ void DiffusionNode::ScheduleRefresh(SubscriptionHandle handle) {
   if (it == subscriptions_.end()) {
     return;
   }
-  const SimDuration jitter = static_cast<SimDuration>(
-      config_.refresh_jitter_fraction * static_cast<double>(config_.interest_refresh));
-  const SimDuration period =
-      config_.interest_refresh - jitter / 2 + (jitter > 0 ? rng_.NextInt(0, jitter) : 0);
+  const SimDuration base = (traffic_.backoff.enabled && it->second.refresh_period > 0)
+                               ? it->second.refresh_period
+                               : config_.interest_refresh;
+  const SimDuration jitter =
+      static_cast<SimDuration>(config_.refresh_jitter_fraction * static_cast<double>(base));
+  const SimDuration period = base - jitter / 2 + (jitter > 0 ? rng_.NextInt(0, jitter) : 0);
   it->second.refresh_event = sim_->After(period, [this, handle] {
     auto sub_it = subscriptions_.find(handle);
     if (sub_it == subscriptions_.end()) {
@@ -927,6 +1048,7 @@ void DiffusionNode::ScheduleRefresh(SubscriptionHandle handle) {
     }
     sub_it->second.refresh_event = kInvalidEventId;
     if (alive_) {
+      AdvanceInterestScope(sub_it->second);
       FloodInterest(sub_it->second);
     }
     ScheduleRefresh(handle);
@@ -947,7 +1069,7 @@ void DiffusionNode::SendReinforcement(MessageType type, const InterestEntry& ent
   } else {
     ++stats_.negative_reinforcements_sent;
   }
-  TransmitMessage(message);
+  TransmitShaped(std::move(message));
 }
 
 void DiffusionNode::DeliverLocalData(const Message& message) {
@@ -964,6 +1086,9 @@ void DiffusionNode::DeliverLocalData(const Message& message) {
       continue;  // removed by an earlier callback
     }
     if (TwoWayMatch(it->second.attrs, message.attrs)) {
+      // B2 bookkeeping: delivered data proves the current interest scope
+      // reaches a source, so the next refresh keeps the normal cadence.
+      it->second.data_since_flood = true;
       // Copy the callback: it may unsubscribe (and destroy) itself.
       DataCallback callback = it->second.callback;
       callback(message.attrs.items());

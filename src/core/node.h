@@ -36,6 +36,7 @@
 #include "src/core/handle.h"
 #include "src/core/match_index.h"
 #include "src/core/message.h"
+#include "src/core/node_options.h"
 #include "src/naming/attribute.h"
 #include "src/naming/attribute_set.h"
 #include "src/naming/keys.h"
@@ -92,6 +93,10 @@ struct NodeStats {
   // FilterApi::SendMessage calls with a handle that is no longer registered
   // (usually a filter re-injecting after removing itself).
   uint64_t stale_filter_reinjections = 0;
+  // Traffic shaping (zero unless the corresponding TrafficPolicy layer is on).
+  uint64_t transmits_jittered = 0;        // originated sends delayed by TxJitterPolicy
+  uint64_t interest_scope_expansions = 0; // expanding-ring TTL steps taken
+  uint64_t refresh_backoffs = 0;          // refresh periods stretched by backoff
 };
 
 class DiffusionNode {
@@ -101,8 +106,18 @@ class DiffusionNode {
   // Invoked with a mutable message and the filter capabilities object.
   using FilterCallback = std::function<void(Message& message, FilterApi& api)>;
 
-  DiffusionNode(Simulator* sim, Channel* channel, NodeId id,
-                DiffusionConfig config = DiffusionConfig{}, RadioConfig radio_config = RadioConfig{});
+  // The one constructor: every subsystem's knobs hang off NodeOptions
+  // (diffusion, radio, mac, traffic), all defaulting to the paper-faithful
+  // configuration. `NodeOptions{}` reproduces the seed behavior exactly.
+  DiffusionNode(Simulator* sim, Channel* channel, NodeId id, NodeOptions options = NodeOptions{});
+
+  // Deprecated positional-config shim; forwards to the NodeOptions
+  // constructor. Migrate to
+  //   DiffusionNode(sim, channel, id, NodeOptions{.diffusion = ..., .radio = ...}).
+  [[deprecated("use the NodeOptions constructor")]] DiffusionNode(
+      Simulator* sim, Channel* channel, NodeId id, DiffusionConfig config,
+      RadioConfig radio_config = RadioConfig{});
+
   ~DiffusionNode();
 
   DiffusionNode(const DiffusionNode&) = delete;
@@ -161,6 +176,7 @@ class DiffusionNode {
   GradientTable& gradients() { return gradients_; }
   const NodeStats& stats() const { return stats_; }
   const DiffusionConfig& config() const { return config_; }
+  const TrafficPolicy& traffic() const { return traffic_; }
   std::vector<NodeId> Neighbors() const;
 
   // Registers this node's named counters/gauges — diffusion core
@@ -205,6 +221,11 @@ class DiffusionNode {
     bool local_only = false;  // subscription *for* interests
     EventId refresh_event = kInvalidEventId;
     EventId duration_event = kInvalidEventId;
+    // Expanding-ring / refresh-backoff state (InterestBackoffPolicy; only
+    // consulted when traffic_.backoff.enabled).
+    uint8_t ring_ttl = 0;            // current flood scope
+    SimDuration refresh_period = 0;  // current (possibly backed-off) period
+    bool data_since_flood = false;   // matching data arrived since last flood
   };
 
   struct Publication {
@@ -249,8 +270,21 @@ class DiffusionNode {
   // concurrent forwarders of the same flood (hidden terminals).
   void TransmitAfterJitter(Message message);
 
+  // TxJitterPolicy (B1): transmits after Uniform(0, window-for-type) when
+  // the jitter layer is on; plain TransmitMessage otherwise. Used for
+  // originated traffic (forwards already go through TransmitAfterJitter).
+  void TransmitShaped(Message message);
+
+  // The TxJitterPolicy window for a message type (0 = transmit immediately).
+  SimDuration JitterWindowFor(MessageType type) const;
+
   void FloodInterest(Subscription& subscription);
   void ScheduleRefresh(SubscriptionHandle handle);
+
+  // InterestBackoffPolicy (B2): advances `subscription`'s expanding-ring /
+  // backoff state at refresh time, based on whether data arrived since the
+  // previous flood. No-op unless the layer is enabled.
+  void AdvanceInterestScope(Subscription& subscription);
 
   // Sends a (positive or negative) reinforcement for `entry` to `neighbor`.
   void SendReinforcement(MessageType type, const InterestEntry& entry, NodeId neighbor);
@@ -267,6 +301,7 @@ class DiffusionNode {
   Simulator* sim_;
   NodeId id_;
   DiffusionConfig config_;
+  TrafficPolicy traffic_;
   Radio radio_;
   FilterApi filter_api_;
 

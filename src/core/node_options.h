@@ -1,0 +1,53 @@
+// NodeOptions: the one options struct a DiffusionNode is built from.
+//
+// The seed constructor grew positional parameters per subsystem
+// (DiffusionConfig, RadioConfig, ...); NodeOptions collapses them into one
+// nested, designated-initializer-friendly aggregate:
+//
+//   DiffusionNode node(&sim, &channel, id,
+//                      NodeOptions{.diffusion = {.flood_ttl = 8},
+//                                  .radio = TestbedRadioConfig(),
+//                                  .traffic = {.jitter = {.enabled = true}}});
+//
+// Every field defaults to the paper-faithful configuration, so
+// `NodeOptions{}` is exactly the seed behavior.
+
+#ifndef SRC_CORE_NODE_OPTIONS_H_
+#define SRC_CORE_NODE_OPTIONS_H_
+
+#include <optional>
+
+#include "src/core/config.h"
+#include "src/core/traffic_policy.h"
+#include "src/radio/radio.h"
+
+namespace diffusion {
+
+struct NodeOptions {
+  DiffusionConfig diffusion{};
+  RadioConfig radio{};
+  // Convenience override: when set, replaces `radio.mac` wholesale, so MAC
+  // knobs can be given without restating the rest of the radio config.
+  std::optional<MacConfig> mac{};
+  TrafficPolicy traffic{};
+
+  // The RadioConfig the node actually hands its radio: `radio` with the
+  // `mac` override applied and the MAC-level traffic layers (token buckets,
+  // queue policy, airtime budget) folded into MacConfig::shaping.
+  RadioConfig EffectiveRadio() const {
+    RadioConfig effective = radio;
+    if (mac.has_value()) {
+      effective.mac = *mac;
+    }
+    effective.mac.shaping.queue = traffic.queue;
+    effective.mac.shaping.airtime = traffic.airtime;
+    effective.mac.shaping.control = traffic.control_bucket;
+    effective.mac.shaping.data = traffic.data_bucket;
+    effective.mac.shaping.refresh = traffic.refresh_bucket;
+    return effective;
+  }
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_CORE_NODE_OPTIONS_H_

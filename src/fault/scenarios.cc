@@ -125,7 +125,7 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioParams& params) {
 
   std::map<NodeId, std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id : layout.node_ids) {
-    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, dconfig, rconfig);
+    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, NodeOptions{.diffusion = dconfig, .radio = rconfig});
   }
 
   SurveillanceConfig sconfig;

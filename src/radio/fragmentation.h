@@ -26,6 +26,9 @@ struct Fragment {
   uint32_t message_seq = 0;  // per-sender message counter
   uint16_t index = 0;
   uint16_t count = 1;
+  // Transmit-side priority class for the MAC's congestion drop policy and
+  // per-class rate limiting. Link metadata only — never serialized.
+  uint8_t priority = 1;  // MacPriority::kData
   std::vector<uint8_t> payload;
 
   // Wire bytes of the fragment header (src + dst + seq + index + count + len).

@@ -14,16 +14,28 @@ Radio::Radio(Simulator* sim, Channel* channel, NodeId id, RadioConfig config)
 
 Radio::~Radio() { channel_->Detach(id_); }
 
-bool Radio::SendMessage(NodeId dst, const std::vector<uint8_t>& payload) {
+bool Radio::SendMessage(NodeId dst, const std::vector<uint8_t>& payload, MacPriority priority,
+                        bool originated) {
   if (!alive_) {
     return false;
   }
   ++stats_.messages_sent;
   stats_.message_bytes_sent += payload.size();
   const uint32_t seq = next_message_seq_++;
+  std::vector<Fragment> fragments = SplitMessage(id_, dst, seq, payload, config_.fragment_payload);
+  for (Fragment& fragment : fragments) {
+    fragment.priority = static_cast<uint8_t>(priority);
+  }
+  // Rate/airtime shaping admits whole messages: dropping a strict subset of
+  // a message's fragments would spend airtime on a message that can never
+  // reassemble.
+  if (!IsQueued(mac_.AdmitMessage(priority, fragments, originated))) {
+    stats_.fragments_dropped += fragments.size();
+    return false;
+  }
   bool any_queued = false;
-  for (Fragment& fragment : SplitMessage(id_, dst, seq, payload, config_.fragment_payload)) {
-    if (mac_.Enqueue(std::move(fragment))) {
+  for (Fragment& fragment : fragments) {
+    if (IsQueued(mac_.Enqueue(std::move(fragment)))) {
       ++stats_.fragments_sent;
       any_queued = true;
     } else {
@@ -80,6 +92,14 @@ void Radio::RegisterMetrics(MetricsRegistry* registry) const {
   });
   registry->RegisterCounter(id_, "mac.drops_channel_busy", [this] {
     return static_cast<double>(mac_.stats().drops_channel_busy);
+  });
+  registry->RegisterCounter(id_, "mac.drops_rate_limited", [this] {
+    return static_cast<double>(mac_.stats().drops_rate_limited);
+  });
+  registry->RegisterCounter(id_, "mac.drops_airtime",
+                            [this] { return static_cast<double>(mac_.stats().drops_airtime); });
+  registry->RegisterCounter(id_, "mac.priority_evictions", [this] {
+    return static_cast<double>(mac_.stats().priority_evictions);
   });
 }
 

@@ -55,9 +55,14 @@ class Radio : public ChannelEndpoint {
 
   // Sends `payload` to a neighbor (or kBroadcastId). The payload is
   // fragmented (copied into fragments before returning, so callers may reuse
-  // the buffer); delivery is best-effort. Returns false only if every
-  // fragment was dropped at the queue.
-  bool SendMessage(NodeId dst, const std::vector<uint8_t>& payload);
+  // the buffer); delivery is best-effort. `priority` feeds the MAC's
+  // congestion drop policy and per-class rate limiter (irrelevant when
+  // shaping is off). `originated` marks messages this node injects into the
+  // network (vs forwarded transit), which originated_only token buckets use
+  // for ingress policing. Returns false only if every fragment was dropped
+  // at the queue.
+  bool SendMessage(NodeId dst, const std::vector<uint8_t>& payload,
+                   MacPriority priority = MacPriority::kData, bool originated = true);
 
   // Node failure injection. A dead radio neither sends nor receives.
   void Kill();

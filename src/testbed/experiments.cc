@@ -99,7 +99,7 @@ Fig8Result RunFig8(const Fig8Params& params) {
 
   std::map<NodeId, std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id : layout.node_ids) {
-    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, dconfig, rconfig);
+    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, NodeOptions{.diffusion = dconfig, .radio = rconfig});
   }
 
   SurveillanceConfig sconfig;
@@ -204,7 +204,8 @@ Fig9Result RunFig9(const Fig9Params& params) {
       }
     }
     nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id,
-                                                is_light ? light_config : sparse_config, rconfig);
+                                                NodeOptions{.diffusion = is_light ? light_config : sparse_config,
+                                                            .radio = rconfig});
   }
 
   NestedQueryConfig nconfig;
@@ -284,7 +285,7 @@ ScaleResult RunScaleExperiment(const ScaleParams& params) {
 
   std::map<NodeId, std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id : layout.node_ids) {
-    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, dconfig, rconfig);
+    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, NodeOptions{.diffusion = dconfig, .radio = rconfig});
   }
 
   SurveillanceConfig sconfig;
@@ -381,7 +382,7 @@ GeoResult RunGeoExperiment(const GeoParams& params) {
   const RadioConfig rconfig = TestbedRadioConfig();
   std::map<NodeId, std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id : layout.node_ids) {
-    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, dconfig, rconfig);
+    nodes[id] = std::make_unique<DiffusionNode>(&sim, &channel, id, NodeOptions{.diffusion = dconfig, .radio = rconfig});
   }
 
   // Sink in the (0, 0) corner; sources in the far end of the same row band.

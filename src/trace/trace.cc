@@ -29,6 +29,11 @@ constexpr const char* kKindNames[] = {
     "mac_drop",
     "energy_state",
     "fault_injected",
+    "mac_rate_limited",
+    "mac_airtime_drop",
+    "mac_priority_evicted",
+    "interest_scope_changed",
+    "refresh_backoff",
 };
 constexpr size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
 

@@ -55,6 +55,14 @@ enum class TraceEventKind : uint8_t {
   // end of a link event), `peer` the secondary target (`to` end), and `value`
   // the FaultEventKind that executed.
   kFaultInjected,
+
+  // Traffic shaping (TrafficPolicy / MacShaping). Appended after the
+  // original kinds so pre-existing traces keep their numeric values.
+  kMacRateLimited,      // frame dropped, token bucket empty (value = class)
+  kMacAirtimeDrop,      // frame dropped, airtime budget spent (value = class)
+  kMacPriorityEvicted,  // queued frame evicted for a higher class (value = class)
+  kInterestScopeChanged,  // expanding-ring TTL moved (value = new TTL)
+  kRefreshBackoff,        // interest refresh period backed off (value = new period, µs)
 };
 
 // Stable snake_case name ("interest_sent", ...) used by the JSONL export.

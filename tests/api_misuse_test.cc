@@ -39,7 +39,7 @@ AttributeVector Reading(int32_t value) {
 TEST(ApiMisuseTest, DoubleUnsubscribe) {
   Simulator sim(1);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   const SubscriptionHandle sub = node.Subscribe(Query(), [](const AttributeVector&) {});
   EXPECT_EQ(node.Unsubscribe(sub), ApiResult::kOk);
   EXPECT_EQ(node.Unsubscribe(sub), ApiResult::kUnknownHandle);
@@ -48,8 +48,8 @@ TEST(ApiMisuseTest, DoubleUnsubscribe) {
 TEST(ApiMisuseTest, DoubleUnpublishAndSendAfterUnpublish) {
   Simulator sim(2);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int received = 0;
   (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = source.Publish(Publication());
@@ -66,7 +66,7 @@ TEST(ApiMisuseTest, DoubleUnpublishAndSendAfterUnpublish) {
 TEST(ApiMisuseTest, SendOnDeadNode) {
   Simulator sim(3);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   const PublicationHandle pub = node.Publish(Publication());
   node.Kill();
   EXPECT_EQ(node.Send(pub, Reading(1)), ApiResult::kNodeDead);
@@ -80,7 +80,7 @@ TEST(ApiMisuseTest, SelfRemovingFilterIsCountedAndTraced) {
   auto channel = MakeCliqueChannel(&sim, 1);
   MemoryTraceSink trace;
   sim.set_trace_sink(&trace);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   FilterHandle handle = kInvalidHandle;
   handle = node.AddFilter(Query(), 10, [&](Message& message, FilterApi& api) {
     (void)node.RemoveFilter(handle);
@@ -243,8 +243,8 @@ BurstRun RunBurst(bool use_batch) {
   auto channel = MakeCliqueChannel(&sim, 2);
   MemoryTraceSink trace;
   sim.set_trace_sink(&trace);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   BurstRun out;
   (void)sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
     if (const Attribute* seq = FindActual(attrs, kKeySequence)) {
@@ -287,7 +287,7 @@ TEST(SendBatchTest, BatchMatchesSequentialSendsExactly) {
 TEST(SendBatchTest, MisusePaths) {
   Simulator sim(5);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   EXPECT_EQ(node.SendBatch(PublicationHandle{999}, {Reading(1)}), ApiResult::kUnknownHandle);
   const PublicationHandle pub = node.Publish(Publication());
   EXPECT_EQ(node.SendBatch(pub, {}), ApiResult::kOk);  // empty burst: nothing to do
@@ -303,7 +303,7 @@ TEST(SendBatchTest, MisusePaths) {
 TEST(SendBatchTest, ChainMutationMidBatchFallsBackPerMessage) {
   Simulator sim(6);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   int delivered = 0;
   (void)node.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
   const PublicationHandle pub = node.Publish(Publication());

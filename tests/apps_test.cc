@@ -48,9 +48,9 @@ TEST(AppUtilTest, GetInt32ActualOr) {
 TEST(SurveillanceTest, EventsReachSinkWithSynchronizedSequences) {
   Simulator sim(21);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode sink_node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_a(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_b(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink_node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_a(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_b(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   SurveillanceConfig config;
   SurveillanceSink sink(&sink_node, config);
@@ -74,9 +74,9 @@ TEST(SurveillanceTest, EventsReachSinkWithSynchronizedSequences) {
 TEST(SurveillanceTest, SuppressionReducesDeliveredDuplicates) {
   Simulator sim(22);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode sink_node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_a(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_b(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink_node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_a(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_b(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   SurveillanceConfig config;
   DuplicateSuppressionFilter f1(&sink_node, SurveillanceDataFilterAttrs(config), 10);
@@ -101,8 +101,8 @@ TEST(SurveillanceTest, SuppressionReducesDeliveredDuplicates) {
 TEST(SurveillanceTest, MessagesAreTargetSized) {
   Simulator sim(23);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink_node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode src(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink_node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   SurveillanceConfig config;
   SurveillanceSink sink(&sink_node, config);
   SurveillanceSource source(&src, config, 1);
@@ -127,9 +127,9 @@ class NestedQueryTest : public ::testing::Test {
     DiffusionConfig config;
     config.exploratory_every = 3;  // sparse publications need frequent
                                    // exploratory rounds to hold their paths
-    user_node_ = std::make_unique<DiffusionNode>(&sim_, channel_.get(), 1, config, FastRadio());
-    audio_node_ = std::make_unique<DiffusionNode>(&sim_, channel_.get(), 2, config, FastRadio());
-    light_node_ = std::make_unique<DiffusionNode>(&sim_, channel_.get(), 3, config, FastRadio());
+    user_node_ = std::make_unique<DiffusionNode>(&sim_, channel_.get(), 1, NodeOptions{.diffusion = config, .radio = FastRadio()});
+    audio_node_ = std::make_unique<DiffusionNode>(&sim_, channel_.get(), 2, NodeOptions{.diffusion = config, .radio = FastRadio()});
+    light_node_ = std::make_unique<DiffusionNode>(&sim_, channel_.get(), 3, NodeOptions{.diffusion = config, .radio = FastRadio()});
   }
 
   Simulator sim_;

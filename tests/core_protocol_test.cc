@@ -41,7 +41,7 @@ TEST(TtlTest, FloodStopsAtHopBudget) {
   config.flood_ttl = 4;
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 8; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, config, FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.diffusion = config, .radio = FastRadio()}));
   }
   (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(10 * kSecond);
@@ -54,8 +54,8 @@ TEST(TtlTest, FloodStopsAtHopBudget) {
 TEST(DurationTest, SubscriptionExpiresAfterDuration) {
   Simulator sim(2);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
 
   int received = 0;
   AttributeVector query = Query();
@@ -81,9 +81,9 @@ TEST(MultipathTest, DataFollowsEveryReinforcedGradient) {
   // falls out of the gradient representation.
   Simulator sim(3);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode hub(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode left(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode right(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode hub(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode left(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode right(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   int left_received = 0;
   int right_received = 0;
@@ -118,8 +118,8 @@ TEST(NegativeReinforcementTest, StalePathTornDown) {
   DiffusionConfig config;
   config.negative_reinforcement_after = 30 * kSecond;
   config.reinforcement_lifetime = 10 * kMinute;
-  DiffusionNode sink(&sim, channel.get(), 1, config, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, config, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.diffusion = config, .radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.diffusion = config, .radio = FastRadio()});
 
   (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());
@@ -160,7 +160,7 @@ TEST(NegativeReinforcementTest, LosingUpstreamIsNegativelyReinforced) {
   config.negative_reinforcement_after = 90 * kSecond;
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 4; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, config, FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.diffusion = config, .radio = FastRadio()}));
   }
   (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = nodes[3]->Publish(Publication());
@@ -194,8 +194,8 @@ TEST(NegativeReinforcementTest, LosingUpstreamIsNegativelyReinforced) {
 TEST(ExploratoryFallbackTest, UnreinforcedSourceSendsExploratory) {
   Simulator sim(6);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int exploratory_seen = 0;
   int data_seen = 0;
   (void)sink.AddFilter({ClassEq(kClassData)}, 10, [&](Message& message, FilterApi& api) {
@@ -229,8 +229,8 @@ TEST(AsymmetricLinkTest, DiffusionFailsAcrossOneWayLinks) {
   auto topology = std::make_unique<ExplicitTopology>();
   topology->AddLink(1, 2);  // sink -> source only
   auto channel = std::make_unique<Channel>(&sim, std::move(topology));
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int received = 0;
   (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = source.Publish(Publication());
@@ -257,8 +257,8 @@ TEST(IntermittentLinkTest, DeliveryTracksLinkWindows) {
   auto channel = std::make_unique<Channel>(&sim, std::move(topology));
   DiffusionConfig config;
   config.exploratory_every = 3;  // re-establish quickly after each off window
-  DiffusionNode sink(&sim, channel.get(), 1, config, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, config, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.diffusion = config, .radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.diffusion = config, .radio = FastRadio()});
   std::vector<SimTime> deliveries;
   (void)sink.Subscribe(Query(), [&](const AttributeVector&) { deliveries.push_back(sim.now()); });
   const PublicationHandle pub = source.Publish(Publication());
@@ -286,9 +286,9 @@ TEST(RateControlTest, GradientIntervalDownsamplesData) {
   // downsamples in-network.
   Simulator sim(301);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode fast_sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode slow_sink(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode fast_sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode slow_sink(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   int fast_received = 0;
   int slow_received = 0;
@@ -313,8 +313,8 @@ TEST(RateControlTest, GradientIntervalDownsamplesData) {
 TEST(RateControlTest, UnconstrainedInterestsUnaffected) {
   Simulator sim(302);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int received = 0;
   (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++received; });
   const PublicationHandle pub = source.Publish(Publication());
@@ -329,9 +329,9 @@ TEST(RateControlTest, UnconstrainedInterestsUnaffected) {
 TEST(FilterApiTest, SendToNeighborBypassesRouting) {
   Simulator sim(9);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode b(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode c(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode a(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode b(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode c(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   // A filter at node 1 redirects every matching data message straight to
   // node 3, regardless of gradients.
@@ -360,8 +360,8 @@ TEST(RefreshJitterTest, RefreshPeriodsVaryWithinBounds) {
   auto channel = MakeCliqueChannel(&sim, 2);
   DiffusionConfig config;
   config.refresh_jitter_fraction = 0.2;
-  DiffusionNode sink(&sim, channel.get(), 1, config, FastRadio());
-  DiffusionNode observer(&sim, channel.get(), 2, config, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.diffusion = config, .radio = FastRadio()});
+  DiffusionNode observer(&sim, channel.get(), 2, NodeOptions{.diffusion = config, .radio = FastRadio()});
 
   std::vector<SimTime> arrivals;
   AttributeVector watch = Publication();

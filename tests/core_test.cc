@@ -203,8 +203,8 @@ class TwoNodeTest : public ::testing::Test {
   TwoNodeTest()
       : sim_(12345),
         channel_(MakeCliqueChannel(&sim_, 2)),
-        sink_(&sim_, channel_.get(), 1, DiffusionConfig{}, FastRadio()),
-        source_(&sim_, channel_.get(), 2, DiffusionConfig{}, FastRadio()) {}
+        sink_(&sim_, channel_.get(), 1, NodeOptions{.radio = FastRadio()}),
+        source_(&sim_, channel_.get(), 2, NodeOptions{.radio = FastRadio()}) {}
 
   Simulator sim_;
   std::unique_ptr<Channel> channel_;
@@ -314,8 +314,7 @@ class LineTest : public ::testing::Test {
   LineTest() : sim_(777), channel_(MakeLineChannel(&sim_, kNodes)) {
     for (NodeId id = 1; id <= kNodes; ++id) {
       nodes_.push_back(
-          std::make_unique<DiffusionNode>(&sim_, channel_.get(), id, DiffusionConfig{},
-                                          FastRadio()));
+          std::make_unique<DiffusionNode>(&sim_, channel_.get(), id, NodeOptions{.radio = FastRadio()}));
     }
   }
 
@@ -424,7 +423,7 @@ TEST(DiamondTest, ReroutesAroundDeadNode) {
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 4; ++id) {
     nodes.push_back(
-        std::make_unique<DiffusionNode>(&sim, channel.get(), id, config, FastRadio()));
+        std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.diffusion = config, .radio = FastRadio()}));
   }
   std::vector<int32_t> received;
   (void)nodes[0]->Subscribe(LightQuery(),
@@ -461,8 +460,7 @@ TEST(CliqueScaleTest, ManySubscribersAllReceive) {
   auto channel = MakeCliqueChannel(&sim, 6);
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 6; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
-                                                    FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.radio = FastRadio()}));
   }
   std::vector<int> counts(6, 0);
   for (size_t i = 0; i < 5; ++i) {
@@ -482,9 +480,9 @@ TEST(CliqueScaleTest, ManySubscribersAllReceive) {
 TEST(NeighborsTest, TracksHeardNodes) {
   Simulator sim(5);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode b(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode c(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode a(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode b(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode c(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
   (void)a.Subscribe(LightQuery(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);
   const auto neighbors_b = b.Neighbors();

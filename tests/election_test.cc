@@ -28,8 +28,8 @@ TEST(ElectionTest, MostCentralSensorWins) {
   std::vector<Participant> participants(4);
   for (NodeId id = 1; id <= 4; ++id) {
     Participant& p = participants[id - 1];
-    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
-                                             FastRadio());
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                             NodeOptions{.radio = FastRadio()});
     p.election = std::make_unique<SensorElection>(p.node.get(), "audio-election",
                                                   metrics[id - 1]);
   }
@@ -59,8 +59,8 @@ TEST(ElectionTest, TimersSuppressMostClaims) {
   std::vector<Participant> participants(5);
   for (NodeId id = 1; id <= 5; ++id) {
     Participant& p = participants[id - 1];
-    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
-                                             FastRadio());
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                             NodeOptions{.radio = FastRadio()});
     p.election = std::make_unique<SensorElection>(p.node.get(), "topic", metrics[id - 1]);
   }
   sim.RunUntil(kSecond);
@@ -87,9 +87,9 @@ TEST(ElectionTest, BetterPeerDisputesEarlyClaim) {
   Participant worse;
   Participant better;
   worse.node =
-      std::make_unique<DiffusionNode>(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+      std::make_unique<DiffusionNode>(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   better.node =
-      std::make_unique<DiffusionNode>(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+      std::make_unique<DiffusionNode>(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   ElectionConfig eager;  // the worse node fires almost immediately
   eager.delay_per_metric = 1 * kMillisecond;
   eager.jitter = 1;
@@ -124,8 +124,8 @@ TEST(ElectionTest, TiesBreakByNodeId) {
   std::vector<Participant> participants(3);
   for (NodeId id = 1; id <= 3; ++id) {
     Participant& p = participants[id - 1];
-    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
-                                             FastRadio());
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                             NodeOptions{.radio = FastRadio()});
     p.election = std::make_unique<SensorElection>(p.node.get(), "tie", 5.0);
   }
   sim.RunUntil(kSecond);
@@ -141,7 +141,7 @@ TEST(ElectionTest, TiesBreakByNodeId) {
 TEST(ElectionTest, LoneParticipantElectsItself) {
   Simulator sim(75);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 7, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 7, NodeOptions{.radio = FastRadio()});
   SensorElection election(&node, "solo", 3.0);
   std::optional<NodeId> winner;
   election.Start([&winner](NodeId id, bool won) {
@@ -159,8 +159,8 @@ TEST(ElectionTest, WorksAcrossMultipleHops) {
   std::vector<Participant> participants(4);
   for (NodeId id = 1; id <= 4; ++id) {
     Participant& p = participants[id - 1];
-    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{},
-                                             FastRadio());
+    p.node = std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                             NodeOptions{.radio = FastRadio()});
     ElectionConfig config;
     config.delay_per_metric = kSecond;  // give claims time to diffuse 3 hops
     config.settle_time = 30 * kSecond;

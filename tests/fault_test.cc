@@ -45,9 +45,9 @@ TEST(FaultTest, KillCancelsPendingEventsAndHeapStaysCompacted) {
   auto channel = MakeLineChannel(&sim, 3);
   DiffusionConfig config;
   config.forward_delay_jitter = 2 * kSecond;  // hold relay forwards pending
-  DiffusionNode sink(&sim, channel.get(), 1, config, FastRadio());
-  DiffusionNode relay(&sim, channel.get(), 2, config, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 3, config, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.diffusion = config, .radio = FastRadio()});
+  DiffusionNode relay(&sim, channel.get(), 2, NodeOptions{.diffusion = config, .radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 3, NodeOptions{.diffusion = config, .radio = FastRadio()});
 
   (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   (void)relay.Subscribe(Query(), [](const AttributeVector&) {});
@@ -77,9 +77,9 @@ TEST(FaultTest, KillCancelsPendingEventsAndHeapStaysCompacted) {
 TEST(FaultTest, RebootedNodeResubscribesAndRedrawsGradientsFromScratch) {
   Simulator sim(2);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode observer(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode observer(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   int delivered = 0;
   (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
@@ -227,8 +227,8 @@ TEST(FaultTest, OverlaySeversDegradesAndHeals) {
 TEST(FaultTest, ChannelStatsParkAcrossDetachAndRestoreOnAttach) {
   Simulator sim(3);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
 
   (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());
@@ -292,9 +292,9 @@ TEST(FaultTest, CrashScenarioRepairsWithinBoundAndIsDeterministic) {
 TEST(FaultTest, InjectorTracksDeadNodesAndStaleGradients) {
   Simulator sim(4);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode relay(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode relay(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   FaultInjector injector(&sim, channel.get(), nullptr);
   injector.AddNode(&sink);

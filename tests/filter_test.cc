@@ -45,8 +45,8 @@ AttributeVector Event(int32_t seq, int32_t source) {
 TEST(FilterChainTest, PriorityOrderAndPassThrough) {
   Simulator sim(1);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
 
   std::vector<int> order;
   FilterHandle high = kInvalidHandle;
@@ -76,8 +76,8 @@ TEST(FilterChainTest, PriorityOrderAndPassThrough) {
 TEST(FilterChainTest, DroppingFilterStopsProcessing) {
   Simulator sim(2);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
 
   int filter_hits = 0;
   (void)sink.AddFilter(FilterMatch(), 10, [&](Message&, FilterApi&) {
@@ -96,8 +96,8 @@ TEST(FilterChainTest, DroppingFilterStopsProcessing) {
 TEST(FilterChainTest, NonMatchingFilterIgnored) {
   Simulator sim(3);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
 
   int filter_hits = 0;
   // Would drop anything it matched; the point is that it must not match.
@@ -116,8 +116,8 @@ TEST(FilterChainTest, NonMatchingFilterIgnored) {
 TEST(FilterChainTest, RemoveFilterDisables) {
   Simulator sim(4);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int filter_hits = 0;
   const FilterHandle handle =  // counts and drops; removed again below
       sink.AddFilter(FilterMatch(), 10, [&](Message&, FilterApi&) { ++filter_hits; });
@@ -136,8 +136,8 @@ TEST(FilterChainTest, RemoveFilterDisables) {
 TEST(FilterChainTest, FilterSeesLocallyOriginatedMessages) {
   Simulator sim(5);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int source_filter_hits = 0;
   FilterHandle handle = kInvalidHandle;
   handle = source.AddFilter(FilterMatch(), 10, [&](Message& message, FilterApi& api) {
@@ -157,9 +157,9 @@ TEST(FilterChainTest, FilterSeesLocallyOriginatedMessages) {
 TEST(DuplicateSuppressionTest, SuppressesRepeatedSequences) {
   Simulator sim(6);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_a(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_b(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_a(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_b(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   DuplicateSuppressionFilter filter(&sink, FilterMatch(), 10);
   std::vector<int32_t> received;
@@ -186,8 +186,8 @@ TEST(DuplicateSuppressionTest, SuppressesRepeatedSequences) {
 TEST(DuplicateSuppressionTest, PassesMessagesWithoutSequence) {
   Simulator sim(7);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   DuplicateSuppressionFilter filter(&sink, FilterMatch(), 10);
   int delivered = 0;
   (void)sink.Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
@@ -204,7 +204,7 @@ TEST(DuplicateSuppressionTest, PassesMessagesWithoutSequence) {
 TEST(DuplicateSuppressionTest, WindowBoundsMemory) {
   Simulator sim(8);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   DuplicateSuppressionFilter filter(&node, FilterMatch(), 10, /*window=*/4);
   // Exercise via the filter's own counters using locally injected sends.
   int delivered = 0;
@@ -225,10 +225,10 @@ TEST(DuplicateSuppressionTest, WindowBoundsMemory) {
 TEST(CountingAggregationTest, MergesConcurrentDetections) {
   Simulator sim(9);
   auto channel = MakeCliqueChannel(&sim, 4);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode relay(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_a(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
-  DiffusionNode src_b(&sim, channel.get(), 4, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode relay(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_a(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
+  DiffusionNode src_b(&sim, channel.get(), 4, NodeOptions{.radio = FastRadio()});
   (void)relay;
 
   CountingAggregationFilter filter(&sink, FilterMatch(), 10, 500 * kMillisecond);
@@ -260,9 +260,9 @@ TEST(CountingAggregationTest, ProbabilisticOrFusesConfidence) {
   // detection" — 0.5 and 0.6 fuse to exactly 1 - 0.5*0.4 = 0.8.
   Simulator sim(99);
   auto channel = MakeCliqueChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode seismic(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode infrared(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode seismic(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode infrared(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   CountingAggregationFilter fusion(&sink, FilterMatch(), 10, 500 * kMillisecond,
                                    ConfidenceMerge::kProbabilisticOr);
@@ -290,8 +290,8 @@ TEST(CountingAggregationTest, ProbabilisticOrFusesConfidence) {
 TEST(LoggingFilterTest, CountsAndPassesThrough) {
   Simulator sim(10);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   LoggingFilter monitor(&sink, {}, 1000);  // observe everything
   int observed = 0;
   monitor.SetObserver([&](const Message&) { ++observed; });
@@ -332,9 +332,9 @@ TEST(GeoScopeFilterTest, PrunesOutOfCorridorNodes) {
   // away at x=100 and should not re-flood the interest.
   Simulator sim(11);
   auto channel = MakeLineChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode near_node(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode far_node(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode near_node(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode far_node(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   GeoScopeFilter near_filter(&near_node, Position{5, 0, 0}, /*slack=*/5.0, 10);
   GeoScopeFilter far_filter(&far_node, Position{100, 0, 0}, /*slack=*/5.0, 10);
@@ -363,8 +363,8 @@ TEST(GeoScopeFilterTest, PrunesOutOfCorridorNodes) {
 TEST(GeoScopeFilterTest, PassesUnconstrainedInterests) {
   Simulator sim(12);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode other(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode other(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   GeoScopeFilter filter(&other, Position{1000, 1000, 0}, 1.0, 10);
   (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   sim.RunUntil(5 * kSecond);

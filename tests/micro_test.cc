@@ -256,8 +256,8 @@ TEST(MicroGatewayTest, BridgesMoteReadingsIntoFullTier) {
   mote_topology->AddSymmetricLink(100, 101);
   auto mote = std::make_unique<Channel>(&sim, std::move(mote_topology));
 
-  DiffusionNode user(&sim, upper.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode gateway_full(&sim, upper.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode user(&sim, upper.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode gateway_full(&sim, upper.get(), 2, NodeOptions{.radio = FastRadio()});
   MicroNode gateway_mote(&sim, mote.get(), 100, FastRadio());
   MicroNode sensor(&sim, mote.get(), 101, FastRadio());
 

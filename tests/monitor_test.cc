@@ -28,9 +28,9 @@ AttributeVector Publication() {
 TEST(CacheFilterTest, ReplaysCachedDataToLateSubscriber) {
   Simulator sim(61);
   auto channel = MakeLineChannel(&sim, 3);
-  DiffusionNode sink_a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode relay(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink_a(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode relay(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   CacheFilter cache(&relay, Query(), 10);
 
@@ -61,9 +61,9 @@ TEST(CacheFilterTest, ReplaysCachedDataToLateSubscriber) {
 TEST(CacheFilterTest, DoesNotReplayStaleData) {
   Simulator sim(62);
   auto channel = MakeLineChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode relay(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode relay(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
   CacheFilter cache(&relay, Query(), 10, /*capacity=*/16, /*max_age=*/5 * kSecond);
 
   int received = 0;
@@ -85,7 +85,7 @@ TEST(CacheFilterTest, DoesNotReplayStaleData) {
 TEST(CacheFilterTest, CapacityBoundsEntries) {
   Simulator sim(63);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   CacheFilter cache(&node, Query(), 10, /*capacity=*/3);
   (void)node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
@@ -101,7 +101,7 @@ TEST(CacheFilterTest, CapacityBoundsEntries) {
 TEST(CacheFilterTest, RetransmissionRefreshesInsteadOfDuplicating) {
   Simulator sim(64);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   CacheFilter cache(&node, Query(), 10);
   (void)node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
@@ -123,7 +123,7 @@ TEST(NetworkMonitorTest, SnapshotsCountTraffic) {
   NetworkMonitor monitor(channel.get());
   for (NodeId id = 1; id <= 3; ++id) {
     nodes.push_back(
-        std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, FastRadio()));
+        std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.radio = FastRadio()}));
     monitor.Track(nodes.back().get());
   }
   const NetworkMonitor::Snapshot before = monitor.TakeSnapshot();
@@ -150,7 +150,7 @@ TEST(NetworkMonitorTest, TopologyReportShowsHeardNeighbors) {
   NetworkMonitor monitor(channel.get());
   for (NodeId id = 1; id <= 3; ++id) {
     nodes.push_back(
-        std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, FastRadio()));
+        std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.radio = FastRadio()}));
     monitor.Track(nodes.back().get());
   }
   (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
@@ -164,8 +164,8 @@ TEST(NetworkMonitorTest, TopologyReportShowsHeardNeighbors) {
 TEST(NetworkMonitorTest, DeadNodesMarked) {
   Simulator sim(67);
   auto channel = MakeLineChannel(&sim, 2);
-  DiffusionNode a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode b(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode a(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode b(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   NetworkMonitor monitor(channel.get());
   monitor.Track(&a);
   monitor.Track(&b);
@@ -176,8 +176,8 @@ TEST(NetworkMonitorTest, DeadNodesMarked) {
 TEST(NetworkMonitorTest, NodeReportRendersAllNodes) {
   Simulator sim(68);
   auto channel = MakeLineChannel(&sim, 2);
-  DiffusionNode a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode b(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode a(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode b(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   NetworkMonitor monitor(channel.get());
   monitor.Track(&a);
   monitor.Track(&b);
@@ -197,7 +197,7 @@ TEST(NetworkMonitorTest, PerNodeMetricsSumToAggregateSnapshot) {
   NetworkMonitor monitor(channel.get());
   for (NodeId id = 1; id <= 3; ++id) {
     nodes.push_back(
-        std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, FastRadio()));
+        std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.radio = FastRadio()}));
     monitor.Track(nodes.back().get());
   }
   (void)nodes[0]->Subscribe(Query(), [](const AttributeVector&) {});
@@ -238,8 +238,8 @@ TEST(NetworkMonitorTest, PerNodeMetricsSumToAggregateSnapshot) {
 TEST(NetworkMonitorTest, SamplingBuildsPerNodeTimeSeries) {
   Simulator sim(70);
   auto channel = MakeLineChannel(&sim, 2);
-  DiffusionNode a(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode b(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode a(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode b(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   NetworkMonitor monitor(channel.get());
   monitor.Track(&a);
   monitor.Track(&b);
@@ -268,8 +268,8 @@ TEST(NetworkMonitorTest, PacketTraceQueryReplaysRecordedFlow) {
   MemoryTraceSink recorder;
   sim.set_trace_sink(&recorder);
   auto channel = MakeLineChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   NetworkMonitor monitor(channel.get());
   monitor.Track(&sink);
   monitor.Track(&source);

@@ -32,7 +32,7 @@ AttributeVector Reading(int32_t value) {
 TEST(NodeApiTest, UnsubscribeUnknownHandleFails) {
   Simulator sim(1);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   EXPECT_EQ(node.Unsubscribe(SubscriptionHandle{12345}), ApiResult::kUnknownHandle);
   EXPECT_EQ(node.Unpublish(PublicationHandle{12345}), ApiResult::kUnknownHandle);
   EXPECT_EQ(node.RemoveFilter(FilterHandle{12345}), ApiResult::kUnknownHandle);
@@ -59,7 +59,7 @@ TEST(NodeApiTest, HandleKindsAreDistinctTypes) {
   // Raw handle ids are per-node unique even across kinds.
   Simulator sim(2);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   const SubscriptionHandle sub = node.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = node.Publish(Publication());
   // Callback drops everything; this test only exercises handle allocation.
@@ -72,8 +72,8 @@ TEST(NodeApiTest, HandleKindsAreDistinctTypes) {
 TEST(NodeApiTest, PublishPreservesExplicitClassActual) {
   Simulator sim(3);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int received = 0;
   (void)sink.Subscribe(Query(), [&](const AttributeVector& attrs) {
     // Exactly one class actual must be present.
@@ -98,8 +98,8 @@ TEST(NodeApiTest, PublishPreservesExplicitClassActual) {
 TEST(NodeApiTest, TwoSubscriptionsSameAttrsBothDelivered) {
   Simulator sim(4);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int first = 0;
   int second = 0;
   const SubscriptionHandle a = sink.Subscribe(Query(), [&](const AttributeVector&) { ++first; });
@@ -126,7 +126,7 @@ TEST(NodeApiTest, SamePriorityFiltersDoNotCascade) {
   // earlier registration wins.
   Simulator sim(5);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   std::vector<int> order;
   FilterHandle first = kInvalidHandle;
   FilterHandle second = kInvalidHandle;
@@ -151,7 +151,7 @@ TEST(NodeApiTest, SamePriorityFiltersDoNotCascade) {
 TEST(NodeApiTest, FilterRemovingItselfMidCallbackIsSafe) {
   Simulator sim(6);
   auto channel = MakeCliqueChannel(&sim, 1);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   int hits = 0;
   FilterHandle handle = kInvalidHandle;
   handle = node.AddFilter(Query(), 10, [&](Message& message, FilterApi& api) {
@@ -179,7 +179,7 @@ TEST(NodeApiTest, TtlBoundsDataReach) {
   DiffusionConfig config;
   config.flood_ttl = 2;
   for (NodeId id = 1; id <= 4; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, config, FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.diffusion = config, .radio = FastRadio()}));
   }
   int one_hop = 0;
   int two_hops = 0;
@@ -199,7 +199,7 @@ TEST(NodeApiTest, TtlBoundsDataReach) {
 TEST(NodeApiTest, GarbageRadioPayloadCountsDecodeFailure) {
   Simulator sim(8);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode node(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
+  DiffusionNode node(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
   Radio raw(&sim, channel.get(), 2, FastRadio());
   raw.SendMessage(kBroadcastId, {0xde, 0xad, 0xbe, 0xef, 0x99});
   sim.RunUntil(kSecond);
@@ -209,8 +209,8 @@ TEST(NodeApiTest, GarbageRadioPayloadCountsDecodeFailure) {
 TEST(NodeApiTest, FilterApiExposesGradientsAndNeighbors) {
   Simulator sim(9);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode observer(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode sink(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode observer(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode sink(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   size_t seen_entries = 0;
   std::vector<NodeId> seen_neighbors;
   (void)observer.AddFilter({}, 10, [&](Message& message, FilterApi& api) {
@@ -234,8 +234,8 @@ TEST(NodeApiTest, FilterApiExposesGradientsAndNeighbors) {
 TEST(NodeApiTest, KilledNodeStopsRefreshingInterests) {
   Simulator sim(10);
   auto channel = MakeCliqueChannel(&sim, 2);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode observer(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode observer(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
   int interests_seen = 0;
   AttributeVector watch = Publication();
   watch.push_back(ClassIs(kClassData));

@@ -36,8 +36,9 @@ TEST(OnePhasePullTest, DeliversAcrossMultipleHops) {
   auto channel = MakeLineChannel(&sim, 5);
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 5; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, OnePhase(),
-                                                    FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                                    NodeOptions{.diffusion = OnePhase(),
+                                                                .radio = FastRadio()}));
   }
   std::vector<int32_t> received;
   (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector& attrs) {
@@ -58,8 +59,9 @@ TEST(OnePhasePullTest, NoExploratoryOrReinforcementTraffic) {
   auto channel = MakeLineChannel(&sim, 3);
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 3; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, OnePhase(),
-                                                    FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                                    NodeOptions{.diffusion = OnePhase(),
+                                                                .radio = FastRadio()}));
   }
   int exploratory = 0;
   int reinforcement = 0;
@@ -109,8 +111,9 @@ TEST(OnePhasePullTest, SinglePathOnDiamond) {
   auto channel = std::make_unique<Channel>(&sim, std::move(topology));
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 4; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, OnePhase(),
-                                                    FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                                    NodeOptions{.diffusion = OnePhase(),
+                                                                .radio = FastRadio()}));
   }
   int delivered = 0;
   (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector&) { ++delivered; });
@@ -141,8 +144,9 @@ TEST(OnePhasePullTest, RepairsViaInterestRefreshAfterNodeDeath) {
   auto channel = std::make_unique<Channel>(&sim, std::move(topology));
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 4; ++id) {
-    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id, OnePhase(),
-                                                    FastRadio()));
+    nodes.push_back(std::make_unique<DiffusionNode>(&sim, channel.get(), id,
+                                                    NodeOptions{.diffusion = OnePhase(),
+                                                                .radio = FastRadio()}));
   }
   std::set<int32_t> received;
   (void)nodes[0]->Subscribe(Query(), [&](const AttributeVector& attrs) {

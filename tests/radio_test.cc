@@ -519,7 +519,7 @@ TEST(DutyCycleTest, DiffusionWorksUnderDutyCyclingWithAddedLatency) {
     std::vector<std::unique_ptr<DiffusionNode>> nodes;
     for (NodeId id = 1; id <= 3; ++id) {
       nodes.push_back(
-          std::make_unique<DiffusionNode>(&sim, channel.get(), id, DiffusionConfig{}, config));
+          std::make_unique<DiffusionNode>(&sim, channel.get(), id, NodeOptions{.radio = config}));
     }
     std::vector<SimTime> latencies;
     (void)nodes[0]->Subscribe(

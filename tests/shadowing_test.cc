@@ -121,7 +121,7 @@ TEST(ShadowingTest, DiffusionRunsOverShadowedChannel) {
   std::vector<std::unique_ptr<DiffusionNode>> nodes;
   for (NodeId id = 1; id <= 9; ++id) {
     nodes.push_back(
-        std::make_unique<DiffusionNode>(&sim, &channel, id, DiffusionConfig{}, FastRadio()));
+        std::make_unique<DiffusionNode>(&sim, &channel, id, NodeOptions{.radio = FastRadio()}));
   }
   int received = 0;
   (void)nodes[0]->Subscribe({ClassEq(kClassData), Attribute::String(kKeyType, AttrOp::kEq, "t")},

@@ -66,9 +66,9 @@ NodeStats RunLineFlow(TraceSink* trace_sink) {
     sim.set_trace_sink(trace_sink);
   }
   auto channel = MakeLineChannel(&sim, 3);
-  DiffusionNode sink(&sim, channel.get(), 1, DiffusionConfig{}, FastRadio());
-  DiffusionNode relay(&sim, channel.get(), 2, DiffusionConfig{}, FastRadio());
-  DiffusionNode source(&sim, channel.get(), 3, DiffusionConfig{}, FastRadio());
+  DiffusionNode sink(&sim, channel.get(), 1, NodeOptions{.radio = FastRadio()});
+  DiffusionNode relay(&sim, channel.get(), 2, NodeOptions{.radio = FastRadio()});
+  DiffusionNode source(&sim, channel.get(), 3, NodeOptions{.radio = FastRadio()});
 
   (void)sink.Subscribe(Query(), [](const AttributeVector&) {});
   const PublicationHandle pub = source.Publish(Publication());

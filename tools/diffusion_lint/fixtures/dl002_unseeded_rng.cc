@@ -12,7 +12,12 @@ int Violations() {
   std::default_random_engine eng;    // finding
   srand(42);                         // finding
   int r = rand();                    // finding
-  return r + static_cast<int>(rd()) + static_cast<int>(gen()) + static_cast<int>(eng());
+  std::ranlux24_base rl(7);          // finding (even seeded: wrong engine)
+  std::knuth_b kb(3);                // finding
+  unsigned state = 1;
+  int r2 = rand_r(&state);           // finding (reentrant, still unseeded lineage)
+  return r + r2 + static_cast<int>(rd()) + static_cast<int>(gen()) + static_cast<int>(eng()) +
+         static_cast<int>(rl()) + static_cast<int>(kb());
 }
 
 unsigned Suppressed() {

@@ -355,6 +355,11 @@ void CheckUnseededRng(const std::string& file, const Preprocessed& pp,
       {"lrand48", true, false, true},
       {"mrand48", true, false, true},
       {"arc4random", true, false, false},
+      {"ranlux24", true, false, false},
+      {"ranlux48", true, false, false},
+      {"knuth_b", true, true, false},
+      {"rand_r", true, false, true},
+      {"random_shuffle", true, true, false},
   };
   for (const auto& [line, token] : FindTokens(pp, kTokens)) {
     Emit(out, file, line, kRules[1],
