@@ -105,6 +105,21 @@ done
 ./build/bench/congestion_sweep --scenario=fairness \
   --out=build/BENCH_congestion_fair.json --require-fairness=0.6
 
+# Engine-throughput gates (docs/PERFORMANCE.md). The bench loop refreshed
+# BENCH_engine.json; hold it to the schema and to the overhaul ratchet: the
+# recorded whole-engine speedup over the compat baseline must stay >= 2x.
+./build/bench/engine_throughput --check=BENCH_engine.json --require-speedup=2.0
+
+# Engine determinism gate: the deterministic section (event counts, bytes,
+# trace fingerprint) is byte-identical at --jobs=1 and --jobs=8, and the
+# compat engine reproduces the overhauled engine's traces exactly (the
+# equivalence probe inside the bench).
+./build/bench/engine_throughput --deterministic-only --jobs=1 \
+  --out=build/engine_j1.json >/dev/null
+./build/bench/engine_throughput --deterministic-only --jobs=8 \
+  --out=build/engine_j8.json >/dev/null
+cmp build/engine_j1.json build/engine_j8.json
+
 # Parallel replication must not change results: the Figure-8 sweep's bench
 # JSON and merged trace are byte-identical at --jobs=1 and --jobs=8.
 ./build/bench/fig8_aggregation --runs=2 --minutes=1 --jobs=1 \

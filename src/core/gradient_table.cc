@@ -54,10 +54,12 @@ bool InterestEntry::HasReinforcedGradient() const {
 }
 
 InterestEntry* GradientTable::FindExact(const AttributeSet& attrs) {
-  for (InterestEntry& entry : entries_) {
-    // ExactMatch on AttributeSet compares the precomputed hashes first.
-    if (ExactMatch(entry.attrs, attrs)) {
-      return &entry;
+  // Scan the contiguous hash column; touch an entry only on a hash hit
+  // (§3.1's hash-before-full-compare, now without pointer chasing).
+  const uint64_t hash = attrs.hash();
+  for (size_t i = 0; i < hash_col_.size(); ++i) {
+    if (hash_col_[i] == hash && ExactMatch(entry_col_[i]->attrs, attrs)) {
+      return entry_col_[i];
     }
   }
   return nullptr;
@@ -65,9 +67,9 @@ InterestEntry* GradientTable::FindExact(const AttributeSet& attrs) {
 
 std::vector<InterestEntry*> GradientTable::MatchData(const AttributeSet& data_attrs) {
   std::vector<InterestEntry*> matches;
-  for (InterestEntry& entry : entries_) {
-    if (TwoWayMatch(entry.attrs, data_attrs)) {
-      matches.push_back(&entry);
+  for (InterestEntry* entry : entry_col_) {
+    if (TwoWayMatch(entry->attrs, data_attrs)) {
+      matches.push_back(entry);
     }
   }
   return matches;
@@ -82,24 +84,36 @@ InterestEntry& GradientTable::InsertOrRefresh(const AttributeSet& attrs, SimTime
   entry.attrs = attrs;
   entry.expires = expires;
   entries_.push_back(std::move(entry));
+  hash_col_.push_back(entries_.back().attrs.hash());
+  entry_col_.push_back(&entries_.back());
   return entries_.back();
 }
 
+void GradientTable::EraseColumn(size_t index) {
+  hash_col_.erase(hash_col_.begin() + static_cast<ptrdiff_t>(index));
+  entry_col_.erase(entry_col_.begin() + static_cast<ptrdiff_t>(index));
+}
+
 void GradientTable::Expire(SimTime now) {
+  size_t index = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     it->ExpireGradients(now, &expiry_observer_);
     if (!it->is_local && it->expires < now && it->gradients.empty()) {
       it = entries_.erase(it);
+      EraseColumn(index);
     } else {
       ++it;
+      ++index;
     }
   }
 }
 
 bool GradientTable::RemoveLocal(const AttributeSet& attrs) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+  size_t index = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it, ++index) {
     if (it->is_local && ExactMatch(it->attrs, attrs)) {
       entries_.erase(it);
+      EraseColumn(index);
       return true;
     }
   }

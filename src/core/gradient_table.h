@@ -106,11 +106,18 @@ class GradientTable {
 
   // Drops every entry and gradient without notifying the expiry observer —
   // a rebooted node's gradients vanish rather than age out.
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    hash_col_.clear();
+    entry_col_.clear();
+  }
 
   size_t size() const { return entries_.size(); }
 
-  // Iteration support (e.g. for the debugging/monitoring filter).
+  // Iteration support (e.g. for the debugging/monitoring filter). Callers
+  // may mutate entry *contents* (gradients, reinforcement flags) but must
+  // not insert/erase entries or reassign attrs — structural changes go
+  // through the table API so the probe columns below stay in sync.
   std::list<InterestEntry>& entries() { return entries_; }
   const std::list<InterestEntry>& entries() const { return entries_; }
 
@@ -121,8 +128,18 @@ class GradientTable {
   }
 
  private:
+  // Drops the column slot at `index` (after the matching list erase).
+  void EraseColumn(size_t index);
+
   // std::list keeps InterestEntry* stable across insert/erase.
   std::list<InterestEntry> entries_;
+  // Structure-of-arrays probe columns, parallel to entries_ in iteration
+  // order: FindExact scans the contiguous hash column (one cache line holds
+  // eight candidates) and MatchData walks the pointer column, instead of
+  // chasing list nodes. Attrs never change after insert, so the hashes
+  // cannot go stale.
+  std::vector<uint64_t> hash_col_;
+  std::vector<InterestEntry*> entry_col_;
   std::function<void(const InterestEntry&, const Gradient&)> expiry_observer_;
 };
 

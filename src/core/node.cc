@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "src/core/message_body.h"
 #include "src/naming/matching.h"
 #include "src/radio/energy.h"
 #include "src/util/logging.h"
@@ -61,6 +62,8 @@ DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, NodeOp
       rng_(sim->rng().Fork()) {
   radio_.SetReceiveCallback(
       [this](NodeId from, const std::vector<uint8_t>& bytes) { OnRadioReceive(from, bytes); });
+  radio_.SetBodyCallback(
+      [this](NodeId from, const WireBody& body) { OnRadioReceiveBody(from, body); });
   gradients_.SetExpiryObserver([this](const InterestEntry& entry, const Gradient& gradient) {
     (void)entry;
     if (sim_->tracing()) {
@@ -511,11 +514,30 @@ void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& byte
     ++stats_.decode_failures;
     return;
   }
-  message->last_hop = from;
+  ReceiveDecoded(from, std::move(*message));
+}
+
+void DiffusionNode::OnRadioReceiveBody(NodeId from, const WireBody& body) {
+  if (!alive_) {
+    return;
+  }
+  neighbors_[from] = sim_->now();
+  // Only the diffusion engine produces wire bodies, so the concrete type is
+  // known. Copying the message is cheap: the attribute storage is shared
+  // copy-on-write, carrying the sender's cached hashes to this hop.
+  Message message = static_cast<const MessageBody&>(body).message();
+  // Reset link-layer context to what Deserialize would have left (the body
+  // still holds the *sender's* next_hop).
+  message.next_hop = kBroadcastId;
+  ReceiveDecoded(from, std::move(message));
+}
+
+void DiffusionNode::ReceiveDecoded(NodeId from, Message message) {
+  message.last_hop = from;
   if (sim_->tracing()) {
     TraceEventKind kind = TraceEventKind::kDataReceived;
     int64_t value = 0;
-    switch (message->type) {
+    switch (message.type) {
       case MessageType::kInterest:
         kind = TraceEventKind::kInterestReceived;
         break;
@@ -535,10 +557,10 @@ void DiffusionNode::OnRadioReceive(NodeId from, const std::vector<uint8_t>& byte
         value = -1;
         break;
     }
-    sim_->Trace(TraceEvent{sim_->now(), kind, id_, from, message->PacketId(), value});
+    sim_->Trace(TraceEvent{sim_->now(), kind, id_, from, message.PacketId(), value});
   }
   gradients_.Expire(sim_->now());
-  DispatchToChain(std::move(*message), std::numeric_limits<int32_t>::max());
+  DispatchToChain(std::move(message), std::numeric_limits<int32_t>::max());
 }
 
 void DiffusionNode::DispatchToChain(Message message, int32_t below_priority) {
@@ -944,15 +966,23 @@ void DiffusionNode::TransmitMessage(const Message& message) {
   if (!alive_) {
     return;
   }
-  // Encode into the node's scratch buffer; the radio copies what it needs
-  // (fragments) before returning, so the buffer can be reused next hop.
-  tx_writer_.Clear();
-  message.SerializeInto(&tx_writer_);
+  size_t wire_bytes;
+  if (config_.compat_wire_path) {
+    // Encode into the node's scratch buffer; the radio copies what it needs
+    // (fragments) before returning, so the buffer can be reused next hop.
+    tx_writer_.Clear();
+    message.SerializeInto(&tx_writer_);
+    wire_bytes = tx_writer_.size();
+  } else {
+    // Zero-copy path: no encode. WireSize() equals the encoded size exactly
+    // (pinned by arena_test), so every byte count below is unchanged.
+    wire_bytes = message.WireSize();
+  }
   ++stats_.messages_sent;
-  stats_.bytes_sent += tx_writer_.size();
+  stats_.bytes_sent += wire_bytes;
   if (sim_->tracing()) {
     TraceEventKind kind = TraceEventKind::kDataForward;
-    int64_t value = static_cast<int64_t>(tx_writer_.size());
+    int64_t value = static_cast<int64_t>(wire_bytes);
     switch (message.type) {
       case MessageType::kInterest:
         kind = TraceEventKind::kInterestSent;
@@ -974,8 +1004,13 @@ void DiffusionNode::TransmitMessage(const Message& message) {
     }
     sim_->Trace(TraceEvent{sim_->now(), kind, id_, message.next_hop, message.PacketId(), value});
   }
-  radio_.SendMessage(message.next_hop, tx_writer_.data(), PriorityFor(message.type),
-                     /*originated=*/message.origin == id_);
+  if (config_.compat_wire_path) {
+    radio_.SendMessage(message.next_hop, tx_writer_.data(), PriorityFor(message.type),
+                       /*originated=*/message.origin == id_);
+  } else {
+    radio_.SendBody(message.next_hop, MessageBody::Make(&sim_->slot_pool(), message),
+                    PriorityFor(message.type), /*originated=*/message.origin == id_);
+  }
 }
 
 void DiffusionNode::FloodInterest(Subscription& subscription) {

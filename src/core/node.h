@@ -242,6 +242,11 @@ class DiffusionNode {
   };
 
   void OnRadioReceive(NodeId from, const std::vector<uint8_t>& bytes);
+  // Zero-copy delivery: the completed message arrives as the sender's shared
+  // MessageBody; no bytes are parsed.
+  void OnRadioReceiveBody(NodeId from, const WireBody& body);
+  // Common tail of both receive paths (trace, gradient expiry, dispatch).
+  void ReceiveDecoded(NodeId from, Message message);
 
   // Offers `message` to the highest-priority matching filter with priority
   // strictly below `below_priority`; falls through to the core.

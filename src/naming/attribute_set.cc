@@ -12,30 +12,59 @@ uint64_t AttributeHash(const Attribute& attr) {
   return attr.hash();
 }
 
-AttributeSet::AttributeSet(AttributeVector attrs) : attrs_(std::move(attrs)) { Canonicalize(); }
+const AttributeVector& AttributeSet::EmptyVec() {
+  static const AttributeVector kEmpty;
+  return kEmpty;
+}
 
-AttributeSet::AttributeSet(std::initializer_list<Attribute> attrs) : attrs_(attrs) {
-  Canonicalize();
+AttributeSet::AttributeSet(AttributeVector attrs) {
+  if (!attrs.empty()) {
+    rep_ = std::make_shared<Rep>();
+    rep_->attrs = std::move(attrs);
+    Canonicalize();
+  }
+}
+
+AttributeSet::AttributeSet(std::initializer_list<Attribute> attrs) {
+  if (attrs.size() != 0) {
+    rep_ = std::make_shared<Rep>();
+    rep_->attrs = AttributeVector(attrs);
+    Canonicalize();
+  }
+}
+
+AttributeSet::Rep& AttributeSet::MutableRep() {
+  if (!rep_) {
+    rep_ = std::make_shared<Rep>();
+  } else if (rep_.use_count() > 1) {
+    rep_ = std::make_shared<Rep>(*rep_);
+  }
+  return *rep_;
 }
 
 void AttributeSet::Canonicalize() {
   // Stable: same-key attributes keep their construction order, which keeps
   // ToString and serialized bytes deterministic for any insertion order of
   // distinct keys.
-  std::stable_sort(attrs_.begin(), attrs_.end(),
+  Rep& rep = *rep_;
+  std::stable_sort(rep.attrs.begin(), rep.attrs.end(),
                    [](const Attribute& a, const Attribute& b) { return a.key() < b.key(); });
-  hash_sum_ = 0;
-  hash_xor_ = 0;
-  for (const Attribute& attr : attrs_) {
+  rep.hash_sum = 0;
+  rep.hash_xor = 0;
+  rep.wire_size = 2;
+  for (const Attribute& attr : rep.attrs) {
     const uint64_t h = AttributeHash(attr);
-    hash_sum_ += h * 0x9e3779b97f4a7c15ULL;
-    hash_xor_ ^= h;
+    rep.hash_sum += h * 0x9e3779b97f4a7c15ULL;
+    rep.hash_xor ^= h;
+    rep.wire_size += attr.WireSize();
   }
 }
 
 uint64_t AttributeSet::hash() const {
+  const uint64_t hash_sum = rep_ ? rep_->hash_sum : 0;
+  const uint64_t hash_xor = rep_ ? rep_->hash_xor : 0;
   // Same final mix as HashAttributes (matching.cc) so the two agree.
-  uint64_t combined = hash_sum_ ^ (hash_xor_ * 0xff51afd7ed558ccdULL) ^ attrs_.size();
+  uint64_t combined = hash_sum ^ (hash_xor * 0xff51afd7ed558ccdULL) ^ size();
   combined ^= combined >> 33;
   combined *= 0xc4ceb9fe1a85ec53ULL;
   combined ^= combined >> 33;
@@ -43,38 +72,59 @@ uint64_t AttributeSet::hash() const {
 }
 
 size_t AttributeSet::LowerBound(AttrKey key) const {
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), key,
+  const AttributeVector& attrs = items();
+  auto it = std::lower_bound(attrs.begin(), attrs.end(), key,
                              [](const Attribute& attr, AttrKey k) { return attr.key() < k; });
-  return static_cast<size_t>(it - attrs_.begin());
+  return static_cast<size_t>(it - attrs.begin());
 }
 
 void AttributeSet::Add(Attribute attr) {
+  Rep& rep = MutableRep();
   const uint64_t h = AttributeHash(attr);
-  hash_sum_ += h * 0x9e3779b97f4a7c15ULL;
-  hash_xor_ ^= h;
+  rep.hash_sum += h * 0x9e3779b97f4a7c15ULL;
+  rep.hash_xor ^= h;
+  rep.wire_size += attr.WireSize();
   // Insert after existing attributes with the same key (upper bound), which
   // is what stable_sort over "append then canonicalize" would produce.
-  auto it = std::upper_bound(attrs_.begin(), attrs_.end(), attr.key(),
-                             [](AttrKey k, const Attribute& existing) { return k < existing.key(); });
-  attrs_.insert(it, std::move(attr));
+  auto it =
+      std::upper_bound(rep.attrs.begin(), rep.attrs.end(), attr.key(),
+                       [](AttrKey k, const Attribute& existing) { return k < existing.key(); });
+  rep.attrs.insert(it, std::move(attr));
 }
 
 size_t AttributeSet::RemoveKey(AttrKey key) {
   const size_t begin = LowerBound(key);
+  const AttributeVector& attrs = items();
   size_t end = begin;
-  while (end < attrs_.size() && attrs_[end].key() == key) {
-    const uint64_t h = AttributeHash(attrs_[end]);
-    hash_sum_ -= h * 0x9e3779b97f4a7c15ULL;
-    hash_xor_ ^= h;
+  while (end < attrs.size() && attrs[end].key() == key) {
     ++end;
   }
-  attrs_.erase(attrs_.begin() + static_cast<ptrdiff_t>(begin),
-               attrs_.begin() + static_cast<ptrdiff_t>(end));
+  if (end == begin) {
+    return 0;  // nothing to remove: leave shared storage untouched
+  }
+  Rep& rep = MutableRep();
+  for (size_t i = begin; i < end; ++i) {
+    const uint64_t h = AttributeHash(rep.attrs[i]);
+    rep.hash_sum -= h * 0x9e3779b97f4a7c15ULL;
+    rep.hash_xor ^= h;
+    rep.wire_size -= rep.attrs[i].WireSize();
+  }
+  rep.attrs.erase(rep.attrs.begin() + static_cast<ptrdiff_t>(begin),
+                  rep.attrs.begin() + static_cast<ptrdiff_t>(end));
   return end - begin;
 }
 
 void AttributeSet::Append(const AttributeSet& extra) {
-  for (const Attribute& attr : extra.attrs_) {
+  if (rep_ == extra.rep_) {
+    // Self-append (or appending a storage-sharing copy): take a snapshot so
+    // Add's inserts do not walk a vector being appended to.
+    const AttributeVector snapshot = extra.items();
+    for (const Attribute& attr : snapshot) {
+      Add(attr);
+    }
+    return;
+  }
+  for (const Attribute& attr : extra.items()) {
     Add(attr);
   }
 }
@@ -85,50 +135,53 @@ void AttributeSet::Append(const AttributeVector& extra) {
   }
 }
 
-void AttributeSet::Clear() {
-  attrs_.clear();
-  hash_sum_ = 0;
-  hash_xor_ = 0;
-}
+void AttributeSet::Clear() { rep_.reset(); }
 
 const Attribute* AttributeSet::Find(AttrKey key) const {
+  const AttributeVector& attrs = items();
   const size_t i = LowerBound(key);
-  if (i < attrs_.size() && attrs_[i].key() == key) {
-    return &attrs_[i];
+  if (i < attrs.size() && attrs[i].key() == key) {
+    return &attrs[i];
   }
   return nullptr;
 }
 
 const Attribute* AttributeSet::FindActual(AttrKey key) const {
-  for (size_t i = LowerBound(key); i < attrs_.size() && attrs_[i].key() == key; ++i) {
-    if (attrs_[i].IsActual()) {
-      return &attrs_[i];
+  const AttributeVector& attrs = items();
+  for (size_t i = LowerBound(key); i < attrs.size() && attrs[i].key() == key; ++i) {
+    if (attrs[i].IsActual()) {
+      return &attrs[i];
     }
   }
   return nullptr;
 }
 
 bool AttributeSet::operator==(const AttributeSet& other) const {
-  if (attrs_.size() != other.attrs_.size() || hash() != other.hash()) {
+  if (rep_ == other.rep_) {
+    return true;  // shared storage: trivially equal
+  }
+  const AttributeVector& attrs = items();
+  const AttributeVector& other_attrs = other.items();
+  if (attrs.size() != other_attrs.size() || hash() != other.hash()) {
     return false;
   }
   // Walk runs of equal keys in lockstep; within a run, compare as a multiset
   // (runs are almost always length 1, so the inner quadratic never bites).
   size_t i = 0;
-  while (i < attrs_.size()) {
-    const AttrKey key = attrs_[i].key();
-    if (other.attrs_[i].key() != key) {
+  while (i < attrs.size()) {
+    const AttrKey key = attrs[i].key();
+    if (other_attrs[i].key() != key) {
       return false;
     }
     size_t run_end = i + 1;
-    while (run_end < attrs_.size() && attrs_[run_end].key() == key) {
+    while (run_end < attrs.size() && attrs[run_end].key() == key) {
       ++run_end;
     }
-    if (run_end < other.attrs_.size() && other.attrs_[run_end].key() == key) {
+    if (run_end < other_attrs.size() && other_attrs[run_end].key() == key) {
       return false;  // other has a longer run of this key
     }
     if (run_end - i == 1) {
-      if (!(attrs_[i] == other.attrs_[i])) {
+      if (!(attrs[i] == other_attrs[i])) {
         return false;
       }
     } else {
@@ -136,7 +189,7 @@ bool AttributeSet::operator==(const AttributeSet& other) const {
       for (size_t a = i; a < run_end; ++a) {
         bool found = false;
         for (size_t b = i; b < run_end; ++b) {
-          if (!used[b - i] && attrs_[a] == other.attrs_[b]) {
+          if (!used[b - i] && attrs[a] == other_attrs[b]) {
             used[b - i] = true;
             found = true;
             break;
@@ -152,7 +205,7 @@ bool AttributeSet::operator==(const AttributeSet& other) const {
   return true;
 }
 
-void AttributeSet::Serialize(ByteWriter* writer) const { SerializeAttributes(attrs_, writer); }
+void AttributeSet::Serialize(ByteWriter* writer) const { SerializeAttributes(items(), writer); }
 
 std::optional<AttributeSet> AttributeSet::Deserialize(ByteReader* reader) {
   std::optional<AttributeVector> attrs = DeserializeAttributes(reader);
@@ -162,9 +215,9 @@ std::optional<AttributeSet> AttributeSet::Deserialize(ByteReader* reader) {
   return AttributeSet(std::move(*attrs));
 }
 
-size_t AttributeSet::WireSize() const { return AttributesWireSize(attrs_); }
+size_t AttributeSet::WireSize() const { return rep_ ? rep_->wire_size : 2; }
 
-std::string AttributeSet::ToString() const { return AttributesToString(attrs_); }
+std::string AttributeSet::ToString() const { return AttributesToString(items()); }
 
 const Attribute* FindAttribute(const AttributeSet& attrs, AttrKey key) { return attrs.Find(key); }
 

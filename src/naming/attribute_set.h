@@ -14,12 +14,19 @@
 // The wire encoding is identical to SerializeAttributes over the sorted
 // vector, so canonical sets round-trip bit-exactly and interoperate with
 // peers that still emit unsorted vectors (Deserialize re-canonicalizes).
+//
+// Storage is copy-on-write: the sorted vector, the hash accumulators and
+// the precomputed wire size live in a shared Rep, so copying an
+// AttributeSet — which the forwarding hot path does once per hop per
+// neighbor — is one refcount bump instead of a deep vector copy, and
+// WireSize() is O(1). Mutation clones the Rep only when it is shared.
 
 #ifndef SRC_NAMING_ATTRIBUTE_SET_H_
 #define SRC_NAMING_ATTRIBUTE_SET_H_
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -43,12 +50,12 @@ class AttributeSet {
   AttributeSet(std::initializer_list<Attribute> attrs);
 
   // The attributes in canonical (key-sorted) order.
-  const AttributeVector& items() const { return attrs_; }
-  size_t size() const { return attrs_.size(); }
-  bool empty() const { return attrs_.empty(); }
-  const Attribute& operator[](size_t i) const { return attrs_[i]; }
-  const_iterator begin() const { return attrs_.begin(); }
-  const_iterator end() const { return attrs_.end(); }
+  const AttributeVector& items() const { return rep_ ? rep_->attrs : EmptyVec(); }
+  size_t size() const { return items().size(); }
+  bool empty() const { return items().empty(); }
+  const Attribute& operator[](size_t i) const { return items()[i]; }
+  const_iterator begin() const { return items().begin(); }
+  const_iterator end() const { return items().end(); }
 
   // Order-insensitive hash of the whole set; O(1), maintained across
   // mutations. Two sets that ExactMatch always hash equal.
@@ -82,20 +89,36 @@ class AttributeSet {
   // with SerializeAttributes/DeserializeAttributes.
   void Serialize(ByteWriter* writer) const;
   static std::optional<AttributeSet> Deserialize(ByteReader* reader);
+  // Encoded byte count; O(1) (maintained incrementally with the hash).
   size_t WireSize() const;
 
   std::string ToString() const;
 
+  // True when this set shares storage with `other` (copies made without an
+  // intervening mutation). Introspection for tests and the bench.
+  bool SharesStorageWith(const AttributeSet& other) const { return rep_ && rep_ == other.rep_; }
+
  private:
+  // Shared representation. A null rep_ is the canonical empty set, so
+  // default construction allocates nothing.
+  struct Rep {
+    AttributeVector attrs;  // sorted by key (stable)
+    // Commutative accumulators over AttributeHash of each element; hash()
+    // mixes them with the size. Add/remove update them in O(1) hashes.
+    uint64_t hash_sum = 0;
+    uint64_t hash_xor = 0;
+    size_t wire_size = 2;  // count u16 + per-attribute encodings
+  };
+
+  static const AttributeVector& EmptyVec();
+
   // Index of the first attribute with key >= `key`.
   size_t LowerBound(AttrKey key) const;
   void Canonicalize();
+  // Clones the rep if shared (or creates one if null) so it can be mutated.
+  Rep& MutableRep();
 
-  AttributeVector attrs_;  // sorted by key (stable)
-  // Commutative accumulators over AttributeHash of each element; hash()
-  // mixes them with the size. Add/remove update them in O(1) hashes.
-  uint64_t hash_sum_ = 0;
-  uint64_t hash_xor_ = 0;
+  std::shared_ptr<Rep> rep_;
 };
 
 // Free-function shims mirroring the AttributeVector helpers, so code

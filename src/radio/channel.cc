@@ -19,6 +19,17 @@ ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
   return delta;
 }
 
+Channel::ReceiverSlot& Channel::SlotFor(NodeId node) {
+  if (node >= slot_of_.size()) {
+    slot_of_.resize(node + 1, 0);
+  }
+  if (slot_of_[node] == 0) {
+    slots_.emplace_back();
+    slot_of_[node] = static_cast<uint32_t>(slots_.size());
+  }
+  return slots_[slot_of_[node] - 1];
+}
+
 void Channel::Attach(ChannelEndpoint* endpoint) {
   const NodeId node = endpoint->node_id();
   endpoints_[node] = endpoint;
@@ -31,6 +42,13 @@ void Channel::Attach(ChannelEndpoint* endpoint) {
     parked_stats_.erase(parked);
   }
   attach_base_[node] = node_stats_[node];
+  // Ids large enough to make the dense slot table unreasonable fall back to
+  // the hash-table bookkeeping wholesale. Attach happens at setup, before
+  // traffic, so the mode is stable by the first transmission.
+  if (node >= (1u << 20)) {
+    compat_lookups_ = true;
+  }
+  SlotFor(node).stats = &node_stats_[node];
 }
 
 void Channel::Detach(NodeId node) {
@@ -42,7 +60,7 @@ void Channel::Detach(NodeId node) {
   }
   attach_base_.erase(node);
   // Cancel (rather than erase) the node's receptions inside still-active
-  // transmissions: other receivers' ongoing_ entries index into the same
+  // transmissions: other receivers' in-air entries index into the same
   // reception vectors, so positions must stay stable.
   auto it = ongoing_.find(node);
   if (it != ongoing_.end()) {
@@ -50,6 +68,14 @@ void Channel::Detach(NodeId node) {
       active_[tx_id].receptions[index].cancelled = true;
     }
     ongoing_.erase(it);
+  }
+  if (node < slot_of_.size() && slot_of_[node] != 0) {
+    ReceiverSlot& slot = slots_[slot_of_[node] - 1];
+    for (const auto& [tx_id, index] : slot.in_air) {
+      ResolveTx(tx_id)->receptions[index].cancelled = true;
+    }
+    slot.in_air.clear();
+    slot.stats = nullptr;  // parked; refreshed by the next Attach
   }
 }
 
@@ -92,11 +118,44 @@ bool Channel::CarrierBusyAt(NodeId node) const {
       return true;
     }
   }
+  for (const TxSlab& slab : tx_slabs_) {
+    if (slab.live &&
+        (slab.tx.sender == node || propagation_->Reaches(slab.tx.sender, node))) {
+      return true;
+    }
+  }
   return false;
 }
 
+uint64_t Channel::AllocTx() {
+  uint32_t slot;
+  if (free_tx_slots_.empty()) {
+    slot = static_cast<uint32_t>(tx_slabs_.size());
+    tx_slabs_.emplace_back();
+  } else {
+    slot = free_tx_slots_.back();
+    free_tx_slots_.pop_back();
+  }
+  TxSlab& slab = tx_slabs_[slot];
+  slab.live = true;
+  return (static_cast<uint64_t>(slab.generation) << 32) | (slot + 1);
+}
+
+Channel::ActiveTx* Channel::ResolveTx(uint64_t tx_id) {
+  const uint32_t slot = static_cast<uint32_t>(tx_id & 0xffffffff) - 1;
+  const uint32_t generation = static_cast<uint32_t>(tx_id >> 32);
+  if (slot >= tx_slabs_.size()) {
+    return nullptr;
+  }
+  TxSlab& slab = tx_slabs_[slot];
+  if (!slab.live || slab.generation != generation) {
+    return nullptr;
+  }
+  return &slab.tx;
+}
+
 void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
-  const uint64_t tx_id = next_tx_id_++;
+  const uint64_t tx_id = compat_lookups_ ? next_tx_id_++ : AllocTx();
   ++stats_.transmissions;
   ++node_stats_[sender].transmissions;
 
@@ -105,12 +164,22 @@ void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
   tx.fragment = std::move(fragment);
   tx.start = sim_->now();
   tx.duration = duration;
+  if (!compat_lookups_ && !recycled_receptions_.empty()) {
+    tx.receptions = std::move(recycled_receptions_.back());
+    recycled_receptions_.pop_back();
+  }
 
   // Half-duplex: the sender's own in-progress receptions are destroyed.
-  auto self_it = ongoing_.find(sender);
-  if (self_it != ongoing_.end()) {
-    for (const auto& [other_tx, index] : self_it->second) {
-      active_[other_tx].receptions[index].corrupted = true;
+  if (compat_lookups_) {
+    auto self_it = ongoing_.find(sender);
+    if (self_it != ongoing_.end()) {
+      for (const auto& [other_tx, index] : self_it->second) {
+        active_[other_tx].receptions[index].corrupted = true;
+      }
+    }
+  } else if (sender < slot_of_.size() && slot_of_[sender] != 0) {
+    for (const auto& [other_tx, index] : slots_[slot_of_[sender] - 1].in_air) {
+      ResolveTx(other_tx)->receptions[index].corrupted = true;
     }
   }
 
@@ -120,32 +189,64 @@ void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
       continue;
     }
     ++stats_.receptions_attempted;
-    ++node_stats_[node].receptions_attempted;
+    ChannelStats* receiver_stats;
+    std::vector<std::pair<uint64_t, size_t>>* in_air;
+    if (compat_lookups_) {
+      receiver_stats = &node_stats_[node];
+      in_air = &ongoing_[node];
+    } else {
+      ReceiverSlot& slot = slots_[slot_of_[node] - 1];
+      receiver_stats = slot.stats;
+      in_air = &slot.in_air;
+    }
+    ++receiver_stats->receptions_attempted;
     bool corrupted = endpoint->IsTransmitting();
     // Overlap with anything already in the air at this receiver corrupts
     // both frames (no capture).
-    auto& in_air = ongoing_[node];
-    if (!in_air.empty()) {
+    if (!in_air->empty()) {
       corrupted = true;
-      for (const auto& [other_tx, index] : in_air) {
-        active_[other_tx].receptions[index].corrupted = true;
+      for (const auto& [other_tx, index] : *in_air) {
+        if (compat_lookups_) {
+          active_[other_tx].receptions[index].corrupted = true;
+        } else {
+          ResolveTx(other_tx)->receptions[index].corrupted = true;
+        }
       }
     }
-    tx.receptions.push_back(Reception{node, corrupted});
-    in_air.emplace_back(tx_id, tx.receptions.size() - 1);
+    tx.receptions.push_back(Reception{node, corrupted, false, endpoint, receiver_stats});
+    in_air->emplace_back(tx_id, tx.receptions.size() - 1);
   }
 
-  active_.emplace(tx_id, std::move(tx));
+  if (compat_lookups_) {
+    active_.emplace(tx_id, std::move(tx));
+  } else {
+    tx_slabs_[static_cast<uint32_t>(tx_id & 0xffffffff) - 1].tx = std::move(tx);
+  }
   sim_->After(duration, [this, tx_id] { FinishTransmit(tx_id); });
 }
 
 void Channel::FinishTransmit(uint64_t tx_id) {
-  auto it = active_.find(tx_id);
-  if (it == active_.end()) {
-    return;
+  ActiveTx tx;
+  if (compat_lookups_) {
+    auto it = active_.find(tx_id);
+    if (it == active_.end()) {
+      return;
+    }
+    tx = std::move(it->second);
+    active_.erase(it);
+  } else {
+    ActiveTx* slab_tx = ResolveTx(tx_id);
+    if (slab_tx == nullptr) {
+      return;
+    }
+    tx = std::move(*slab_tx);
+    // Free the slot before delivering: OnFrameDelivered may transmit again,
+    // and the slab must not hold a stale live entry while it does.
+    const uint32_t slot = static_cast<uint32_t>(tx_id & 0xffffffff) - 1;
+    ++tx_slabs_[slot].generation;
+    tx_slabs_[slot].live = false;
+    free_tx_slots_.push_back(slot);
   }
-  ActiveTx tx = std::move(it->second);
-  active_.erase(it);
 
   const uint64_t link_packet =
       (static_cast<uint64_t>(tx.fragment.src) << 32) | tx.fragment.message_seq;
@@ -157,27 +258,45 @@ void Channel::FinishTransmit(uint64_t tx_id) {
       continue;
     }
     // Unregister this reception from the receiver's in-air list.
-    auto in_air_it = ongoing_.find(reception.receiver);
-    if (in_air_it != ongoing_.end()) {
-      auto& list = in_air_it->second;
+    if (compat_lookups_) {
+      auto in_air_it = ongoing_.find(reception.receiver);
+      if (in_air_it != ongoing_.end()) {
+        auto& list = in_air_it->second;
+        for (auto list_it = list.begin(); list_it != list.end(); ++list_it) {
+          if (list_it->first == tx_id && list_it->second == i) {
+            list.erase(list_it);
+            break;
+          }
+        }
+        if (list.empty()) {
+          ongoing_.erase(in_air_it);
+        }
+      }
+    } else {
+      auto& list = slots_[slot_of_[reception.receiver] - 1].in_air;
       for (auto list_it = list.begin(); list_it != list.end(); ++list_it) {
         if (list_it->first == tx_id && list_it->second == i) {
           list.erase(list_it);
           break;
         }
       }
-      if (list.empty()) {
-        ongoing_.erase(in_air_it);
-      }
     }
 
-    auto endpoint_it = endpoints_.find(reception.receiver);
-    if (endpoint_it == endpoints_.end() || !endpoint_it->second->IsAlive()) {
+    ChannelEndpoint* endpoint = reception.endpoint;
+    ChannelStats* receiver_stats = reception.stats;
+    if (compat_lookups_) {
+      auto endpoint_it = endpoints_.find(reception.receiver);
+      endpoint = endpoint_it == endpoints_.end() ? nullptr : endpoint_it->second;
+    }
+    if (endpoint == nullptr || !endpoint->IsAlive()) {
       continue;
+    }
+    if (compat_lookups_) {
+      receiver_stats = &node_stats_[reception.receiver];
     }
     if (reception.corrupted) {
       ++stats_.collisions;
-      ++node_stats_[reception.receiver].collisions;
+      ++receiver_stats->collisions;
       if (sim_->tracing()) {
         sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kCollision, reception.receiver,
                                tx.sender, link_packet, 0});
@@ -188,7 +307,7 @@ void Channel::FinishTransmit(uint64_t tx_id) {
         propagation_->DeliveryProbability(tx.sender, reception.receiver, tx.start);
     if (!rng_.NextBool(probability)) {
       ++stats_.propagation_losses;
-      ++node_stats_[reception.receiver].propagation_losses;
+      ++receiver_stats->propagation_losses;
       if (sim_->tracing()) {
         sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kPropagationLoss, reception.receiver,
                                tx.sender, link_packet, 0});
@@ -196,8 +315,12 @@ void Channel::FinishTransmit(uint64_t tx_id) {
       continue;
     }
     ++stats_.deliveries;
-    ++node_stats_[reception.receiver].deliveries;
-    endpoint_it->second->OnFrameDelivered(tx.fragment, tx.duration);
+    ++receiver_stats->deliveries;
+    endpoint->OnFrameDelivered(tx.fragment, tx.duration);
+  }
+  if (!compat_lookups_) {
+    tx.receptions.clear();
+    recycled_receptions_.push_back(std::move(tx.receptions));
   }
 }
 

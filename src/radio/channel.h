@@ -53,6 +53,12 @@ class Channel {
 
   void Attach(ChannelEndpoint* endpoint);
 
+  // Pre-overhaul reception bookkeeping: resolve the receiver's endpoint and
+  // stats through the hash tables on every reception outcome instead of the
+  // pointers cached at Transmit. Outcomes are identical; only lookup cost
+  // differs. The measured baseline for bench/engine_throughput.
+  void set_compat_lookups(bool compat) { compat_lookups_ = compat; }
+
   // Detaches `node` and scrubs its in-flight receptions: transmissions still
   // on the air stop targeting it, so a node detached mid-flight neither
   // receives the frame nor counts toward collision/loss statistics — even if
@@ -94,6 +100,12 @@ class Channel {
     // Set when the receiver detached mid-flight: the reception resolves to
     // nothing (no delivery, no stats).
     bool cancelled = false;
+    // Resolved at Transmit so FinishTransmit needs no map lookups. Both stay
+    // valid while the reception is live: Detach cancels the reception before
+    // invalidating either (and node_stats_ values are node-based, so other
+    // nodes' inserts never move them).
+    ChannelEndpoint* endpoint = nullptr;
+    ChannelStats* stats = nullptr;
   };
   struct ActiveTx {
     NodeId sender;
@@ -105,14 +117,44 @@ class Channel {
 
   void FinishTransmit(uint64_t tx_id);
 
+  // Dense-mode transmission ids are (generation << 32) | (slot + 1) into
+  // tx_slabs_, the slot-and-generation slab that replaces the active_ hash
+  // map (no hash-node allocation per frame; reception vectors keep their
+  // capacity across reuse via recycled_receptions_). Compat mode keeps the
+  // sequential ids + hash map of the pre-overhaul engine.
+  uint64_t AllocTx();
+  ActiveTx* ResolveTx(uint64_t tx_id);
+
+  // Dense per-receiver bookkeeping (the overhauled fast path). Slots are
+  // assigned once per node id at first Attach and survive detach/reattach;
+  // in_air keeps its capacity across transmissions instead of being erased
+  // and reallocated through the ongoing_ hash table per frame.
+  struct ReceiverSlot {
+    std::vector<std::pair<uint64_t, size_t>> in_air;  // (tx id, reception idx)
+    ChannelStats* stats = nullptr;  // into node_stats_ (node-based, stable)
+  };
+  ReceiverSlot& SlotFor(NodeId node);
+
   Simulator* sim_;
   std::unique_ptr<PropagationModel> propagation_;
+  bool compat_lookups_ = false;
   Rng rng_;
   std::unordered_map<NodeId, ChannelEndpoint*> endpoints_;
   uint64_t next_tx_id_ = 1;
   std::unordered_map<uint64_t, ActiveTx> active_;
   // receiver -> list of (tx id, reception index) currently in the air at it
+  // (the pre-overhaul structure; used only with compat_lookups_)
   std::unordered_map<NodeId, std::vector<std::pair<uint64_t, size_t>>> ongoing_;
+  std::vector<uint32_t> slot_of_;  // node id -> slot index + 1, 0 = none
+  std::vector<ReceiverSlot> slots_;
+  struct TxSlab {
+    ActiveTx tx;
+    uint32_t generation = 0;
+    bool live = false;
+  };
+  std::vector<TxSlab> tx_slabs_;
+  std::vector<uint32_t> free_tx_slots_;
+  std::vector<std::vector<Reception>> recycled_receptions_;
   ChannelStats stats_;
   // Per-endpoint counters for currently attached nodes, plus the parked
   // snapshots of detached ones and each node's counter value at its latest

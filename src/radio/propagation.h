@@ -10,6 +10,7 @@
 #ifndef SRC_RADIO_PROPAGATION_H_
 #define SRC_RADIO_PROPAGATION_H_
 
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -58,7 +59,18 @@ class DiskPropagation : public PropagationModel {
   void BlockLink(NodeId from, NodeId to);
   // Range applied across floors; zero (default) blocks inter-floor links
   // unless explicitly overridden.
-  void set_inter_floor_range(double range) { inter_floor_range_ = range; }
+  void set_inter_floor_range(double range) {
+    inter_floor_range_ = range;
+    InvalidateReachCache();
+  }
+  // The memoized reachability matrix is part of the hot-path memory-layout
+  // overhaul; the compat engine turns it off to reproduce the pre-overhaul
+  // hash-table-per-query lookups it is the measured baseline for. Answers
+  // are identical either way.
+  void set_reach_cache_enabled(bool enabled) {
+    reach_cache_enabled_ = enabled;
+    InvalidateReachCache();
+  }
 
   bool Reaches(NodeId from, NodeId to) const override;
   double DeliveryProbability(NodeId from, NodeId to, SimTime now) const override;
@@ -71,12 +83,28 @@ class DiskPropagation : public PropagationModel {
     return (static_cast<uint64_t>(from) << 32) | to;
   }
 
+  // Reachability is pure geometry plus the static override tables, so the
+  // answer for a pair never changes between topology mutations. The hot path
+  // (one Reaches per endpoint per transmission, plus carrier sense) reads a
+  // dense stride x stride byte matrix instead of chasing three hash tables
+  // and a sqrt. Any mutator clears the cache; ids >= kReachCacheMaxNodes
+  // (huge synthetic topologies) fall through to the uncached computation.
+  static constexpr NodeId kReachCacheMaxNodes = 1024;
+  bool ReachesUncached(NodeId from, NodeId to) const;
+  void InvalidateReachCache() {
+    reach_cache_.clear();
+    reach_stride_ = 0;
+  }
+
   double range_;
   double inter_floor_range_ = 0.0;
   double default_delivery_probability_;
   std::unordered_map<NodeId, Position> positions_;
   std::unordered_map<LinkKey, LinkQuality> link_quality_;
   std::unordered_map<LinkKey, bool> blocked_;
+  bool reach_cache_enabled_ = true;
+  mutable std::vector<int8_t> reach_cache_;  // -1 unknown, else 0/1
+  mutable NodeId reach_stride_ = 0;
 };
 
 // Explicit topology: only listed directed links exist. Useful for tests and

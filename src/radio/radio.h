@@ -44,6 +44,9 @@ class Radio : public ChannelEndpoint {
  public:
   using ReceiveCallback =
       std::function<void(NodeId from, const std::vector<uint8_t>& payload)>;
+  // Zero-copy delivery: completed body-form messages are handed over as the
+  // shared WireBody instead of materialized bytes.
+  using BodyCallback = std::function<void(NodeId from, const WireBody& body)>;
 
   Radio(Simulator* sim, Channel* channel, NodeId id, RadioConfig config = RadioConfig{});
   ~Radio() override;
@@ -52,6 +55,10 @@ class Radio : public ChannelEndpoint {
   Radio& operator=(const Radio&) = delete;
 
   void SetReceiveCallback(ReceiveCallback callback) { receive_callback_ = std::move(callback); }
+  // Optional: when set, body-form completions bypass byte materialization.
+  // Byte-form completions (from senders using SendMessage) still arrive via
+  // the ReceiveCallback, as do body-form ones if no BodyCallback is set.
+  void SetBodyCallback(BodyCallback callback) { body_callback_ = std::move(callback); }
 
   // Sends `payload` to a neighbor (or kBroadcastId). The payload is
   // fragmented (copied into fragments before returning, so callers may reuse
@@ -63,6 +70,12 @@ class Radio : public ChannelEndpoint {
   // at the queue.
   bool SendMessage(NodeId dst, const std::vector<uint8_t>& payload,
                    MacPriority priority = MacPriority::kData, bool originated = true);
+
+  // Zero-copy SendMessage: fragments share `body` instead of copying byte
+  // slices. Identical admission, airtime and accounting — body->wire_size()
+  // stands in for payload.size() everywhere.
+  bool SendBody(NodeId dst, BodyRef body, MacPriority priority = MacPriority::kData,
+                bool originated = true);
 
   // Node failure injection. A dead radio neither sends nor receives.
   void Kill();
@@ -88,6 +101,9 @@ class Radio : public ChannelEndpoint {
   void OnFrameDelivered(const Fragment& fragment, SimDuration airtime) override;
 
  private:
+  // Shared transmit tail: admission + per-fragment enqueue and accounting.
+  bool EnqueueFragments(MacPriority priority, std::vector<Fragment> fragments, bool originated);
+
   Simulator* sim_;
   Channel* channel_;
   NodeId id_;
@@ -95,6 +111,7 @@ class Radio : public ChannelEndpoint {
   CsmaMac mac_;
   Reassembler reassembler_;
   ReceiveCallback receive_callback_;
+  BodyCallback body_callback_;
   uint32_t next_message_seq_ = 1;
   bool alive_ = true;
   RadioStats stats_;

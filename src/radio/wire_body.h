@@ -1,0 +1,101 @@
+// Zero-copy wire bodies.
+//
+// The pre-overhaul wire path serialized every message into bytes at the
+// sender, copied byte slices into fragments, reassembled them at each
+// receiver, and re-parsed the bytes back into a message — per hop. The
+// simulated radio only ever *accounts* for those bytes (fragment counts,
+// airtime, Figure-8 byte totals); nothing reads their content in flight. A
+// WireBody replaces the byte image with a shared, refcounted handle to the
+// already-structured message: fragments carry the handle plus their byte
+// length, every size-derived quantity (fragmentation, admission, airtime,
+// traces) is computed from wire_size(), and the exact bytes can still be
+// materialized on demand (AppendBytes) for receivers that want the byte
+// path — so the wire format, and therefore behavior, is unchanged.
+//
+// The refcount is intrusive and non-atomic: a body never leaves its
+// simulation thread. Recycle() gives the concrete type its storage back
+// (the engine pools bodies through the simulator's SlotPool).
+
+#ifndef SRC_RADIO_WIRE_BODY_H_
+#define SRC_RADIO_WIRE_BODY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace diffusion {
+
+class BodyRef;
+
+class WireBody {
+ public:
+  WireBody(const WireBody&) = delete;
+  WireBody& operator=(const WireBody&) = delete;
+
+  // Exact byte count of the encoded body (what the pre-overhaul path would
+  // have put on the wire).
+  virtual size_t wire_size() const = 0;
+
+  // Materializes the encoded bytes (appended to `out`). Byte-exact with the
+  // pre-overhaul encoding; used only when a receiver lacks the structured
+  // delivery path (e.g. constrained micro nodes sharing the channel).
+  virtual void AppendBytes(std::vector<uint8_t>* out) const = 0;
+
+ protected:
+  WireBody() = default;
+  virtual ~WireBody() = default;
+
+  // Called when the last BodyRef drops; the implementation returns its
+  // storage to whatever pool issued it.
+  virtual void Recycle() = 0;
+
+ private:
+  friend class BodyRef;
+  mutable uint32_t refs_ = 0;
+};
+
+// Intrusive smart pointer over WireBody. Copies bump a plain (non-atomic)
+// count: no control-block allocation, no contention — one simulation is one
+// thread.
+class BodyRef {
+ public:
+  BodyRef() = default;
+  explicit BodyRef(const WireBody* body) : body_(body) {
+    if (body_ != nullptr) {
+      ++body_->refs_;
+    }
+  }
+  BodyRef(const BodyRef& other) : body_(other.body_) {
+    if (body_ != nullptr) {
+      ++body_->refs_;
+    }
+  }
+  BodyRef(BodyRef&& other) noexcept : body_(other.body_) { other.body_ = nullptr; }
+  BodyRef& operator=(BodyRef other) noexcept {
+    std::swap(body_, other.body_);
+    return *this;
+  }
+  ~BodyRef() { Drop(); }
+
+  const WireBody* get() const { return body_; }
+  const WireBody& operator*() const { return *body_; }
+  const WireBody* operator->() const { return body_; }
+  explicit operator bool() const { return body_ != nullptr; }
+
+  void reset() { Drop(); }
+
+ private:
+  void Drop() {
+    if (body_ != nullptr && --body_->refs_ == 0) {
+      const_cast<WireBody*>(body_)->Recycle();
+    }
+    body_ = nullptr;
+  }
+
+  const WireBody* body_ = nullptr;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_WIRE_BODY_H_

@@ -1,0 +1,122 @@
+// Small-buffer event callback.
+//
+// The scheduler used std::function<void()>, whose 32-byte inline buffer is
+// too small for the hot captures (a jittered forward captures a Message and
+// a shared cancel handle), so nearly every scheduled event paid a heap
+// allocation for its closure. EventCallback widens the inline buffer to
+// cover every closure the engine schedules; larger (cold-path) callables
+// transparently fall back to a std::function stored in the same buffer, so
+// no call site changes and no raw allocation happens here.
+//
+// Move-only: closures move from the call site into the scheduler's pooled
+// node and are destroyed either after running or at Cancel, which releases
+// captured state (messages, shared handles) promptly.
+
+#ifndef SRC_SIM_EVENT_CALLBACK_H_
+#define SRC_SIM_EVENT_CALLBACK_H_
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace diffusion {
+
+class EventCallback {
+ public:
+  // Covers the engine's largest hot closure (TransmitAfterJitter: this +
+  // Message + shared_ptr<EventId>) with headroom; measured in
+  // tests/arena_test.cc so growth is caught, not silently heap-spilled.
+  static constexpr size_t kInlineBytes = 104;
+
+  EventCallback() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& callable) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t)) {
+      // Placement new into the inline buffer — no allocation.
+      ::new (buffer_) Decayed(std::forward<F>(callable));  // diffusion-lint: allow(DL005)
+      ops_ = &OpsFor<Decayed>;
+    } else {
+      // Oversized closure: delegate storage to std::function (which is far
+      // smaller than kInlineBytes and handles its own ownership).
+      using Boxed = std::function<void()>;
+      static_assert(sizeof(Boxed) <= kInlineBytes);
+      ::new (buffer_) Boxed(std::forward<F>(callable));  // diffusion-lint: allow(DL005)
+      ops_ = &OpsFor<Boxed>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the callable lives inline without the std::function fallback
+  // (introspection for the arena tests).
+  template <typename F>
+  static constexpr bool FitsInline() {
+    return sizeof(std::decay_t<F>) <= kInlineBytes &&
+           alignof(std::decay_t<F>) <= alignof(std::max_align_t);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* from, void* to);  // move-construct into `to`, destroy `from`
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  static constexpr Ops OpsFor{
+      [](void* storage) { (*static_cast<F*>(storage))(); },
+      [](void* from, void* to) {
+        F* source = static_cast<F*>(from);
+        ::new (to) F(std::move(*source));  // diffusion-lint: allow(DL005)
+        source->~F();
+      },
+      [](void* storage) { static_cast<F*>(storage)->~F(); },
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_SIM_EVENT_CALLBACK_H_

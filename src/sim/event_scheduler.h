@@ -2,21 +2,33 @@
 //
 // The scheduler owns a time-ordered queue of callbacks. Ties in time are
 // broken by insertion order so that runs are fully deterministic. Events may
-// be cancelled through the handle returned at scheduling time; cancellation
-// is lazy (cancelled entries are skipped when popped), which keeps both
-// operations O(log n). When dead entries outnumber live ones the heap is
-// rebuilt without them, so a workload that cancels many far-future events
-// (interest refreshes, reassembly timeouts) keeps both the queue and the
-// cancelled callbacks' captured state bounded by the live event count.
+// be cancelled through the handle returned at scheduling time.
+//
+// Two implementations live behind the same API:
+//
+//   * kPairingHeap (default) — an intrusive pairing heap over arena-pooled
+//     nodes. Push and Cancel are O(1) (Cancel unlinks the node immediately,
+//     releasing its closure's captured state on the spot); pop is amortized
+//     O(log n). Event ids are slot+generation pairs, so Cancel needs no hash
+//     lookup: it is an array index plus a generation compare.
+//   * kCompatBinaryHeap — the pre-overhaul compacting binary heap
+//     (std::push_heap over a vector, lazy cancellation with periodic
+//     compaction). Kept in-binary as the measured baseline for
+//     bench/engine_throughput and as a differential-testing reference.
+//
+// Both run events in the identical (time, insertion-sequence) total order,
+// so every simulation is byte-identical under either implementation; only
+// the cost per event differs.
 
 #ifndef SRC_SIM_EVENT_SCHEDULER_H_
 #define SRC_SIM_EVENT_SCHEDULER_H_
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
+#include "src/sim/event_callback.h"
+#include "src/util/arena.h"
 #include "src/util/time.h"
 
 namespace diffusion {
@@ -27,19 +39,30 @@ constexpr EventId kInvalidEventId = 0;
 
 class EventScheduler {
  public:
+  enum class Impl {
+    kPairingHeap,       // intrusive pairing heap, pooled nodes (the engine)
+    kCompatBinaryHeap,  // pre-overhaul compacting binary heap (baseline)
+  };
+
+  explicit EventScheduler(Impl impl = Impl::kPairingHeap);
+  ~EventScheduler();
+
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
   // Schedules `callback` to run at absolute time `when`. `when` must not be
   // earlier than now(); earlier times are clamped to now().
-  EventId ScheduleAt(SimTime when, std::function<void()> callback);
+  EventId ScheduleAt(SimTime when, EventCallback callback);
 
   // Schedules `callback` to run `delay` after the current time.
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> callback);
+  EventId ScheduleAfter(SimDuration delay, EventCallback callback);
 
   // Cancels a pending event. Returns true if the event was still pending.
   // Cancelling an id that already ran (or was already cancelled) is a no-op.
   bool Cancel(EventId id);
 
   // True when no runnable events remain.
-  bool Empty() const { return live_.empty(); }
+  bool Empty() const;
 
   // Runs the next event, advancing the clock. Returns false if none remain.
   bool RunOne();
@@ -53,19 +76,56 @@ class EventScheduler {
 
   SimTime now() const { return now_; }
 
-  // Number of pending (non-cancelled) events.
-  size_t pending() const { return live_.size(); }
+  Impl impl() const { return impl_; }
 
-  // Number of heap entries, including not-yet-compacted cancelled ones.
-  // Bounded at 2*pending() + O(1) by lazy compaction.
-  size_t queue_size() const { return queue_.size(); }
+  // Number of pending (non-cancelled) events.
+  size_t pending() const;
+
+  // Number of queue entries. The pairing heap unlinks cancelled events
+  // eagerly, so this equals pending(); the compat heap cancels lazily and
+  // bounds it at 2*pending() + O(1) via compaction.
+  size_t queue_size() const;
 
  private:
+  // ---- pairing heap (kPairingHeap) ----
+
+  struct PairNode {
+    SimTime when = 0;
+    uint64_t sequence = 0;  // insertion order, for deterministic tie-breaking
+    uint32_t slot = 0;      // index into slots_, for O(1) Cancel
+    // prev is the parent when this node is a first child, else the left
+    // sibling; null at the root.
+    PairNode* child = nullptr;
+    PairNode* sibling = nullptr;
+    PairNode* prev = nullptr;
+    EventCallback callback;
+  };
+
+  static bool Earlier(const PairNode* a, const PairNode* b) {
+    if (a->when != b->when) {
+      return a->when < b->when;
+    }
+    return a->sequence < b->sequence;
+  }
+
+  static PairNode* Meld(PairNode* a, PairNode* b);
+  // Melds a node's child list pairwise (the classic two-pass scheme),
+  // returning the subtree's new root.
+  static PairNode* MeldPairs(PairNode* first);
+
+  // Detaches a non-root node from its parent/sibling links.
+  static void Detach(PairNode* node);
+
+  PairNode* AllocNode(SimTime when, EventCallback callback);
+  void FreeNode(PairNode* node);
+
+  // ---- compat binary heap (kCompatBinaryHeap) ----
+
   struct Entry {
     SimTime when;
-    uint64_t sequence;  // insertion order, for deterministic tie-breaking
+    uint64_t sequence;
     EventId id;
-    std::function<void()> callback;
+    EventCallback callback;
   };
   struct EntryLater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -76,16 +136,32 @@ class EventScheduler {
     }
   };
 
-  // Pops cancelled entries off the head of the queue.
+  // Pops cancelled entries off the head of the compat queue.
   void SkipDead();
-
-  // Rebuilds the heap without cancelled entries, releasing their callbacks.
+  // Rebuilds the compat heap without cancelled entries.
   void Compact();
+  bool RunOneCompat();
 
+  Impl impl_;
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
+
+  // Pairing-heap state. Nodes are recycled through an arena-backed pool;
+  // steady-state scheduling allocates nothing.
+  struct SlotRec {
+    PairNode* node = nullptr;  // null while the slot is free / event done
+    uint32_t generation = 0;
+  };
+  Arena arena_;
+  SlotPool slot_pool_{&arena_};
+  Pool<PairNode> node_pool_{&slot_pool_};
+  PairNode* root_ = nullptr;
+  size_t live_count_ = 0;
+  std::vector<SlotRec> slots_;
+  std::vector<uint32_t> free_slots_;
+
+  // Compat-heap state.
   EventId next_id_ = 1;
-  // Max-heap by EntryLater (earliest event at the front via std::*_heap).
   std::vector<Entry> queue_;
   std::unordered_set<EventId> live_;
 };

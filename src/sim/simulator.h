@@ -10,6 +10,7 @@
 
 #include "src/sim/event_scheduler.h"
 #include "src/trace/trace.h"
+#include "src/util/arena.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
@@ -17,7 +18,9 @@ namespace diffusion {
 
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1,
+                     EventScheduler::Impl impl = EventScheduler::Impl::kPairingHeap)
+      : scheduler_(impl), rng_(seed) {}
 
   EventScheduler& scheduler() { return scheduler_; }
   const EventScheduler& scheduler() const { return scheduler_; }
@@ -28,11 +31,17 @@ class Simulator {
   // construction so that event interleaving does not change their draws.
   Rng& rng() { return rng_; }
 
+  // Simulation-lifetime storage. The pool recycles hot-path objects (pooled
+  // message bodies); the arena backs it. Declared before the scheduler so
+  // pending closures holding pooled objects are destroyed first.
+  Arena& arena() { return arena_; }
+  SlotPool& slot_pool() { return slot_pool_; }
+
   // Convenience forwarding to the scheduler.
-  EventId At(SimTime when, std::function<void()> callback) {
+  EventId At(SimTime when, EventCallback callback) {
     return scheduler_.ScheduleAt(when, std::move(callback));
   }
-  EventId After(SimDuration delay, std::function<void()> callback) {
+  EventId After(SimDuration delay, EventCallback callback) {
     return scheduler_.ScheduleAfter(delay, std::move(callback));
   }
   bool Cancel(EventId id) { return scheduler_.Cancel(id); }
@@ -55,6 +64,8 @@ class Simulator {
   }
 
  private:
+  Arena arena_;
+  SlotPool slot_pool_{&arena_};
   EventScheduler scheduler_;
   Rng rng_;
   TraceSink* trace_sink_ = nullptr;

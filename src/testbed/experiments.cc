@@ -64,7 +64,11 @@ Fig8Result RunFig8(const Fig8Params& params) {
   // during teardown still have a live sink.
   std::unique_ptr<TraceWriter> trace_writer;
   TraceSink* trace_sink = ResolveTraceSink(params.trace_sink, params.trace_out, &trace_writer);
-  Simulator sim(params.seed);
+  const bool compat_scheduler = params.compat_engine || params.compat_scheduler;
+  const bool compat_wire = params.compat_engine || params.compat_wire;
+  const bool compat_channel = params.compat_engine || params.compat_channel;
+  Simulator sim(params.seed, compat_scheduler ? EventScheduler::Impl::kCompatBinaryHeap
+                                              : EventScheduler::Impl::kPairingHeap);
   if (trace_sink != nullptr) {
     sim.set_trace_sink(trace_sink);
   }
@@ -84,13 +88,19 @@ Fig8Result RunFig8(const Fig8Params& params) {
     }
     propagation = std::move(shadowed);
   } else {
-    propagation = MakePropagation(layout, params.link_delivery);
+    auto disk = MakePropagation(layout, params.link_delivery);
+    // The compat baseline also forgoes the reach memo (it did not exist
+    // pre-overhaul); answers are identical, only lookup cost differs.
+    disk->set_reach_cache_enabled(!compat_channel);
+    propagation = std::move(disk);
   }
   Channel channel(&sim, std::move(propagation));
+  channel.set_compat_lookups(compat_channel);
 
   DiffusionConfig dconfig;
   dconfig.exploratory_every = params.exploratory_every;
   dconfig.variant = params.variant;
+  dconfig.compat_wire_path = compat_wire;
   // ~5 message airtimes at 13 kb/s: enough spread to interleave concurrent
   // flood re-broadcasts from hidden terminals.
   dconfig.forward_delay_jitter = 300 * kMillisecond;
@@ -136,13 +146,14 @@ Fig8Result RunFig8(const Fig8Params& params) {
     sim.At(source_start, [&source] { source->Start(); });
   }
 
-  sim.RunUntil(params.warmup);
+  uint64_t events_executed = sim.RunUntil(params.warmup);
   const uint64_t bytes_at_warmup = TotalDiffusionBytes(nodes);
   const size_t events_at_warmup = sink.distinct_events();
 
-  sim.RunUntil(params.warmup + params.duration);
+  events_executed += sim.RunUntil(params.warmup + params.duration);
 
   Fig8Result result;
+  result.events_executed = events_executed;
   result.diffusion_bytes = TotalDiffusionBytes(nodes) - bytes_at_warmup;
   result.distinct_events = sink.distinct_events() - events_at_warmup;
   result.possible_events = PossibleEvents(source_start, sconfig.event_interval, params.warmup,

@@ -58,6 +58,18 @@ struct Fig8Params {
   // injects a private per-replicate buffer here so parallel replicates never
   // share a file stream; must outlive the run.
   TraceSink* trace_sink = nullptr;
+  // Run on the pre-overhaul engine (compacting binary-heap scheduler,
+  // serialize-per-hop wire path, hash-table channel bookkeeping instead of
+  // the reach memo and dense slots). Byte-identical results either way; the
+  // measured baseline for bench/engine_throughput.
+  bool compat_engine = false;
+  // Per-subsystem compat toggles, for the step-by-step measurements in
+  // docs/PERFORMANCE.md (bench/engine_throughput --steps). Each one is
+  // OR-ed with compat_engine; results stay byte-identical in every
+  // combination.
+  bool compat_scheduler = false;  // compacting binary heap
+  bool compat_wire = false;       // serialize per hop (no pooled bodies)
+  bool compat_channel = false;    // hash-table lookups, no reach memo
 };
 
 struct Fig8Result {
@@ -72,6 +84,9 @@ struct Fig8Result {
   // listen/receive/send times at power ratios 1:2:2 — the quantity §6.1
   // models but could not measure on hardware.
   double energy_per_event = 0.0;
+  // Scheduler events executed over warmup + measurement (the whole-engine
+  // work unit bench/engine_throughput divides wall time by).
+  uint64_t events_executed = 0;
 };
 
 Fig8Result RunFig8(const Fig8Params& params);

@@ -1,0 +1,98 @@
+#include "src/util/arena.h"
+
+namespace diffusion {
+
+namespace {
+
+constexpr size_t kMaxBlockBytes = 1 << 20;
+
+size_t AlignUp(size_t value, size_t align) { return (value + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t first_block_bytes) : next_block_bytes_(first_block_bytes) {}
+
+Arena::~Arena() {
+  Block* block = head_;
+  while (block != nullptr) {
+    Block* next = block->next;
+    ::operator delete(block);
+    block = next;
+  }
+}
+
+Arena::Block* Arena::NewBlock(size_t min_bytes) {
+  size_t capacity = next_block_bytes_;
+  if (capacity < min_bytes) {
+    capacity = min_bytes;
+  }
+  if (next_block_bytes_ < kMaxBlockBytes) {
+    next_block_bytes_ *= 2;  // geometric growth keeps block count logarithmic
+  }
+  void* raw = ::operator new(sizeof(Block) + capacity);
+  Block* block = static_cast<Block*>(raw);
+  block->next = head_;
+  block->capacity = capacity;
+  block->used = 0;
+  head_ = block;
+  bytes_reserved_ += capacity;
+  ++blocks_;
+  return block;
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  Block* block = head_;
+  size_t at = block != nullptr ? AlignUp(block->used, align) : 0;
+  if (block == nullptr || at + bytes > block->capacity) {
+    // The block header is max_align-sized storage from operator new, so
+    // offset 0 of a fresh block satisfies any fundamental alignment.
+    block = NewBlock(AlignUp(bytes, align));
+    at = 0;
+  }
+  block->used = at + bytes;
+  bytes_allocated_ += bytes;
+  return block->data() + at;
+}
+
+size_t SlotPool::BucketSize(size_t bytes) {
+  // Slots must be able to hold the free-list link while parked.
+  size_t size = bytes < sizeof(FreeSlot) ? sizeof(FreeSlot) : bytes;
+  return AlignUp(size, alignof(std::max_align_t));
+}
+
+SlotPool::Bucket& SlotPool::BucketFor(size_t size) {
+  for (Bucket& bucket : buckets_) {
+    if (bucket.size == size) {
+      return bucket;
+    }
+  }
+  buckets_.push_back(Bucket{size, nullptr});
+  return buckets_.back();
+}
+
+void* SlotPool::Acquire(size_t bytes, size_t align) {
+  const size_t size = BucketSize(bytes);
+  Bucket& bucket = BucketFor(size);
+  ++acquires_;
+  if (bucket.free != nullptr) {
+    FreeSlot* slot = bucket.free;
+    bucket.free = slot->next;
+    ++reuses_;
+    return slot;
+  }
+  return arena_->Allocate(size, align < alignof(std::max_align_t) ? alignof(std::max_align_t)
+                                                                  : align);
+}
+
+void SlotPool::Release(void* slot, size_t bytes) {
+  const size_t size = BucketSize(bytes);
+  Bucket& bucket = BucketFor(size);
+  FreeSlot* free_slot = static_cast<FreeSlot*>(slot);
+  free_slot->next = bucket.free;
+  bucket.free = free_slot;
+}
+
+}  // namespace diffusion

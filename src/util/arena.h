@@ -1,0 +1,136 @@
+// Arena allocation for the hot-path memory-layout overhaul.
+//
+// Three building blocks, all deterministic and single-threaded (one arena
+// per Simulator / per EventScheduler, never shared across replicate
+// threads):
+//
+//   * Arena      — a bump allocator over geometrically growing blocks.
+//                  Individual objects are never freed; everything returns
+//                  when the arena is destroyed. This is the designated
+//                  raw-new/delete zone diffusion-lint DL005 fences: only
+//                  *arena* files may call operator new/delete, everything
+//                  else takes storage from an arena-backed pool.
+//   * SlotPool   — size-bucketed free lists over an Arena. Acquire/Release
+//                  recycle fixed-size slots in LIFO order, so steady-state
+//                  churn (messages in flight, scheduler nodes) allocates
+//                  nothing after warmup.
+//   * Pool<T>    — a typed convenience wrapper over SlotPool that
+//                  placement-news T into a slot and runs ~T on Delete.
+//
+// Recycled slots are handed back exactly as sized; LIFO reuse means the
+// hottest slot is the one most recently touched (cache-warm).
+
+#ifndef SRC_UTIL_ARENA_H_
+#define SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace diffusion {
+
+class Arena {
+ public:
+  explicit Arena(size_t first_block_bytes = 4096);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage aligned to `align` (a power of two, at most
+  // alignof(std::max_align_t) — block storage offers fundamental alignment
+  // only). The storage lives until the arena is destroyed.
+  void* Allocate(size_t bytes, size_t align);
+
+  // ---- introspection (tests, docs/PERFORMANCE.md numbers) ----
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t blocks() const { return blocks_; }
+
+ private:
+  struct alignas(std::max_align_t) Block {
+    Block* next;
+    size_t capacity;  // usable bytes after the header
+    size_t used;
+    // Block storage follows the header in the same allocation.
+    unsigned char* data() { return reinterpret_cast<unsigned char*>(this + 1); }
+  };
+
+  Block* NewBlock(size_t min_bytes);
+
+  Block* head_ = nullptr;
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t blocks_ = 0;
+};
+
+// Size-bucketed recycling allocator. Type-erased on purpose: the simulator
+// can own one pool that serves object types from layers above it (pooled
+// message bodies) without depending on them.
+class SlotPool {
+ public:
+  explicit SlotPool(Arena* arena) : arena_(arena) {}
+
+  SlotPool(const SlotPool&) = delete;
+  SlotPool& operator=(const SlotPool&) = delete;
+
+  // Returns a slot of at least `bytes` bytes aligned to `align`. Reuses a
+  // released slot of the same bucket when one exists, otherwise carves a
+  // fresh one from the arena.
+  void* Acquire(size_t bytes, size_t align);
+
+  // Returns `slot` (previously Acquired with the same `bytes`) to its
+  // bucket's free list.
+  void Release(void* slot, size_t bytes);
+
+  // ---- introspection ----
+  uint64_t acquires() const { return acquires_; }
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  struct FreeSlot {
+    FreeSlot* next;
+  };
+  struct Bucket {
+    size_t size;
+    FreeSlot* free;
+  };
+
+  static size_t BucketSize(size_t bytes);
+  Bucket& BucketFor(size_t size);
+
+  Arena* arena_;
+  // A handful of distinct slot sizes exist (scheduler nodes, message
+  // bodies); linear scan over this tiny vector beats any map.
+  std::vector<Bucket> buckets_;
+  uint64_t acquires_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+// Typed pool: T instances recycled through a SlotPool.
+template <typename T>
+class Pool {
+ public:
+  explicit Pool(SlotPool* slots) : slots_(slots) {}
+
+  template <typename... Args>
+  T* New(Args&&... args) {
+    void* slot = slots_->Acquire(sizeof(T), alignof(T));
+    return ::new (slot) T(std::forward<Args>(args)...);
+  }
+
+  void Delete(T* object) {
+    object->~T();
+    slots_->Release(object, sizeof(T));
+  }
+
+ private:
+  SlotPool* slots_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_UTIL_ARENA_H_

@@ -1,0 +1,222 @@
+// Tests for the hot-path memory-layout building blocks: the bump arena, the
+// size-bucketed slot pool, pooled message bodies, and the scheduler's
+// small-buffer callback. These pin the properties docs/PERFORMANCE.md
+// relies on: steady-state churn reuses storage (no growth), reused slots
+// never alias live state, and the engine's hot closures stay inline.
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/message.h"
+#include "src/core/message_body.h"
+#include "src/naming/attribute.h"
+#include "src/naming/keys.h"
+#include "src/sim/event_callback.h"
+#include "src/util/arena.h"
+
+namespace diffusion {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  Arena arena(64);
+  void* a = arena.Allocate(24, 8);
+  void* b = arena.Allocate(24, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  void* wide = arena.Allocate(16, alignof(std::max_align_t));
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(wide) % alignof(std::max_align_t), 0u);
+}
+
+TEST(ArenaTest, GrowsGeometricallyNotPerAllocation) {
+  Arena arena(128);
+  for (int i = 0; i < 1000; ++i) {
+    arena.Allocate(32, 8);
+  }
+  EXPECT_EQ(arena.bytes_allocated(), 32u * 1000);
+  // Geometric doubling: ~log2(total/first) blocks, nowhere near one block
+  // per allocation.
+  EXPECT_LE(arena.blocks(), 12u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(SlotPoolTest, ReusesReleasedSlotsLifo) {
+  Arena arena;
+  SlotPool pool(&arena);
+  void* first = pool.Acquire(48, 8);
+  void* second = pool.Acquire(48, 8);
+  EXPECT_NE(first, second);
+  pool.Release(first, 48);
+  pool.Release(second, 48);
+  // LIFO: the most recently released (cache-warm) slot comes back first.
+  EXPECT_EQ(pool.Acquire(48, 8), second);
+  EXPECT_EQ(pool.Acquire(48, 8), first);
+  EXPECT_EQ(pool.reuses(), 2u);
+}
+
+TEST(SlotPoolTest, SteadyStateChurnStopsGrowingTheArena) {
+  Arena arena;
+  SlotPool pool(&arena);
+  // Warmup: bring the pool to its steady-state footprint.
+  std::vector<void*> live;
+  for (int i = 0; i < 16; ++i) {
+    live.push_back(pool.Acquire(96, 8));
+  }
+  for (void* slot : live) {
+    pool.Release(slot, 96);
+  }
+  const size_t warm_bytes = arena.bytes_allocated();
+  // Churn: every acquire after warmup must come from the free lists.
+  for (int round = 0; round < 10'000; ++round) {
+    void* slot = pool.Acquire(96, 8);
+    pool.Release(slot, 96);
+  }
+  EXPECT_EQ(arena.bytes_allocated(), warm_bytes);
+}
+
+TEST(SlotPoolTest, BucketsDoNotAliasAcrossSizes) {
+  Arena arena;
+  SlotPool pool(&arena);
+  void* small = pool.Acquire(16, 8);
+  pool.Release(small, 16);
+  // A larger request must not be satisfied from the 16-byte bucket.
+  void* large = pool.Acquire(256, 8);
+  std::memset(large, 0xAB, 256);
+  pool.Release(large, 256);
+  EXPECT_EQ(pool.Acquire(16, 8), small);
+}
+
+struct Tracked {
+  explicit Tracked(int* counter) : counter(counter) { ++*counter; }
+  ~Tracked() { --*counter; }
+  int* counter;
+  char payload[40] = {};
+};
+
+TEST(PoolTest, RunsConstructorsAndDestructorsOnReuse) {
+  Arena arena;
+  SlotPool slots(&arena);
+  Pool<Tracked> pool(&slots);
+  int live = 0;
+  Tracked* a = pool.New(&live);
+  EXPECT_EQ(live, 1);
+  pool.Delete(a);
+  EXPECT_EQ(live, 0);
+  Tracked* b = pool.New(&live);
+  EXPECT_EQ(b, a);  // recycled slot
+  EXPECT_EQ(live, 1);
+  pool.Delete(b);
+}
+
+Message MakeMessage(uint32_t seq, const char* payload) {
+  Message message;
+  message.type = MessageType::kData;
+  message.origin = 7;
+  message.origin_seq = seq;
+  message.attrs = AttributeVector{
+      Attribute::String(kKeyType, AttrOp::kIs, "arena-test"),
+      Attribute::String(kKeySubtype, AttrOp::kIs, payload),
+  };
+  return message;
+}
+
+TEST(MessageBodyTest, RecycledBodiesDoNotAliasLiveMessages) {
+  Arena arena;
+  SlotPool pool(&arena);
+  // A stale BodyRef kept alive must pin its message even while later bodies
+  // churn through the pool. Under ASan this also proves the recycled slot
+  // never backs two live bodies at once.
+  BodyRef pinned = MessageBody::Make(&pool, MakeMessage(1, "first"));
+  const std::vector<uint8_t> pinned_bytes =
+      static_cast<const MessageBody&>(*pinned).message().Serialize();
+  for (uint32_t seq = 2; seq < 200; ++seq) {
+    BodyRef transient = MessageBody::Make(&pool, MakeMessage(seq, "transient"));
+    const auto& body = static_cast<const MessageBody&>(*transient);
+    EXPECT_EQ(body.message().origin_seq, seq);
+    EXPECT_EQ(body.wire_size(), body.message().WireSize());
+  }
+  const auto& survivor = static_cast<const MessageBody&>(*pinned);
+  EXPECT_EQ(survivor.message().origin_seq, 1u);
+  EXPECT_EQ(survivor.message().Serialize(), pinned_bytes);
+}
+
+TEST(MessageBodyTest, WireBytesMatchTheSerializedMessage) {
+  Arena arena;
+  SlotPool pool(&arena);
+  const Message message = MakeMessage(42, "payload-bytes");
+  BodyRef body = MessageBody::Make(&pool, message);
+  EXPECT_EQ(body->wire_size(), message.WireSize());
+  std::vector<uint8_t> bytes;
+  body->AppendBytes(&bytes);
+  EXPECT_EQ(bytes, message.Serialize());
+  EXPECT_EQ(bytes.size(), message.WireSize());
+}
+
+TEST(MessageBodyTest, LastRefDropReturnsTheSlot) {
+  Arena arena;
+  SlotPool pool(&arena);
+  {
+    BodyRef a = MessageBody::Make(&pool, MakeMessage(1, "x"));
+    BodyRef b = a;  // shared across "fragments"
+    BodyRef c = a;  // and "receivers"
+  }
+  const uint64_t acquires_after_first = pool.acquires();
+  { BodyRef again = MessageBody::Make(&pool, MakeMessage(2, "y")); }
+  EXPECT_EQ(pool.acquires(), acquires_after_first + 1);
+  EXPECT_GE(pool.reuses(), 1u);
+}
+
+TEST(EventCallbackTest, HotClosuresStayInline) {
+  // The engine's largest hot closure: a this pointer, a Message (by value),
+  // and a shared cancel handle (TransmitAfterJitter). If Message grows past
+  // the inline budget, every scheduled transmission regresses to a heap
+  // allocation — fail here instead of silently slowing down.
+  struct HotClosure {
+    void* self;
+    Message message;
+    std::shared_ptr<uint64_t> cancel;
+    void operator()() {}
+  };
+  static_assert(EventCallback::FitsInline<HotClosure>());
+  struct TimerClosure {
+    void* self;
+    uint64_t id;
+    void operator()() {}
+  };
+  static_assert(EventCallback::FitsInline<TimerClosure>());
+}
+
+TEST(EventCallbackTest, InvokesAndReleasesCapturedState) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  int observed = 0;
+  {
+    EventCallback callback([token = std::move(token), &observed] { observed = *token; });
+    EventCallback moved = std::move(callback);
+    moved();
+    EXPECT_EQ(observed, 5);
+    EXPECT_FALSE(watch.expired());  // closure still owns the capture
+  }
+  EXPECT_TRUE(watch.expired());  // destruction released it
+}
+
+TEST(EventCallbackTest, OversizedClosuresFallBackWithoutChangingBehavior) {
+  struct Oversized {
+    char padding[256] = {};
+    int* target = nullptr;
+    void operator()() { *target = 99; }
+  };
+  static_assert(!EventCallback::FitsInline<Oversized>());
+  int value = 0;
+  Oversized big;
+  big.target = &value;
+  EventCallback callback(big);
+  callback();
+  EXPECT_EQ(value, 99);
+}
+
+}  // namespace
+}  // namespace diffusion

@@ -1,5 +1,8 @@
 // Tests for the discrete-event scheduler and simulator driver.
 
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -149,6 +152,142 @@ TEST(SchedulerTest, CancelCompactsDeadHeapEntries) {
   for (int i = 0; i < 1'000; ++i) {
     EXPECT_EQ(order[static_cast<size_t>(i)], i);
   }
+}
+
+// ---- pairing heap vs compat binary heap ----
+//
+// The two implementations must run every workload in the identical
+// (time, insertion-sequence) order; simulations are byte-identical under
+// either. These tests drive both side by side.
+
+TEST(SchedulerImplTest, TieOrderIsIdenticalAcrossImpls) {
+  EventScheduler pairing(EventScheduler::Impl::kPairingHeap);
+  EventScheduler compat(EventScheduler::Impl::kCompatBinaryHeap);
+  std::vector<int> pairing_order;
+  std::vector<int> compat_order;
+  // Many events at few distinct times: tie-breaking does all the work.
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const SimTime when = rng.NextInt(0, 5);
+    pairing.ScheduleAt(when, [&pairing_order, i] { pairing_order.push_back(i); });
+    compat.ScheduleAt(when, [&compat_order, i] { compat_order.push_back(i); });
+  }
+  pairing.RunAll();
+  compat.RunAll();
+  EXPECT_EQ(pairing_order, compat_order);
+}
+
+TEST(SchedulerImplTest, PairingHeapCancelUnlinksEagerly) {
+  // O(1) Cancel means the node (and its closure's captured state) leaves
+  // the queue immediately — queue_size() tracks pending() exactly, with no
+  // compaction slack and no dead closures waiting for their deadline.
+  EventScheduler scheduler(EventScheduler::Impl::kPairingHeap);
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  const EventId id = scheduler.ScheduleAt(1'000'000, [token = std::move(token)] {});
+  EXPECT_TRUE(scheduler.Cancel(id));
+  EXPECT_TRUE(watch.expired());  // capture released at Cancel, not at deadline
+  EXPECT_EQ(scheduler.queue_size(), 0u);
+
+  for (int round = 0; round < 10'000; ++round) {
+    EXPECT_TRUE(scheduler.Cancel(scheduler.ScheduleAt(1'000'000 + round, [] {})));
+  }
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_EQ(scheduler.queue_size(), 0u);
+}
+
+TEST(SchedulerImplTest, CancelUnderChurnKeepsLiveEventsInOrder) {
+  // Interleave schedules and cancels deep inside the heap structure, then
+  // verify the survivors still run in exact (time, insertion) order.
+  for (const auto impl :
+       {EventScheduler::Impl::kPairingHeap, EventScheduler::Impl::kCompatBinaryHeap}) {
+    EventScheduler scheduler(impl);
+    Rng rng(23);
+    std::vector<std::pair<EventId, int>> cancellable;
+    std::vector<std::pair<SimTime, int>> expected;
+    std::vector<int> ran;
+    for (int i = 0; i < 2'000; ++i) {
+      const SimTime when = rng.NextInt(0, 300);
+      const EventId id = scheduler.ScheduleAt(when, [&ran, i] { ran.push_back(i); });
+      if (rng.NextBool(0.5)) {
+        cancellable.emplace_back(id, i);
+        expected.emplace_back(when, i);
+      } else {
+        expected.emplace_back(when, i);
+      }
+    }
+    // Cancel every other cancellable event, in a shuffled-ish order (walk
+    // from both ends) to stress unlinking roots, leaves, and middles.
+    std::vector<int> cancelled_labels;
+    for (size_t k = 0; k < cancellable.size(); k += 2) {
+      const auto& [id, label] = cancellable[cancellable.size() - 1 - k];
+      EXPECT_TRUE(scheduler.Cancel(id));
+      cancelled_labels.push_back(label);
+    }
+    for (int label : cancelled_labels) {
+      std::erase_if(expected, [&](const auto& entry) { return entry.second == label; });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    scheduler.RunAll();
+    ASSERT_EQ(ran.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(ran[i], expected[i].second);
+    }
+  }
+}
+
+TEST(SchedulerImplTest, RandomizedWorkloadsAreEquivalent) {
+  // Differential test: mirror a random schedule/cancel/run workload on both
+  // implementations and require identical execution sequences and clocks.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    EventScheduler pairing(EventScheduler::Impl::kPairingHeap);
+    EventScheduler compat(EventScheduler::Impl::kCompatBinaryHeap);
+    std::vector<int> pairing_log;
+    std::vector<int> compat_log;
+    std::vector<EventId> pairing_ids;
+    std::vector<EventId> compat_ids;
+    Rng rng(seed);
+    int label = 0;
+    for (int op = 0; op < 3'000; ++op) {
+      const int64_t kind = rng.NextInt(0, 9);
+      if (kind < 6) {  // schedule (ids differ between impls; track both)
+        const SimTime when = rng.NextInt(0, 2'000);
+        const int this_label = label++;
+        pairing_ids.push_back(pairing.ScheduleAt(
+            when, [&pairing_log, this_label] { pairing_log.push_back(this_label); }));
+        compat_ids.push_back(compat.ScheduleAt(
+            when, [&compat_log, this_label] { compat_log.push_back(this_label); }));
+      } else if (kind < 8 && !pairing_ids.empty()) {  // cancel the same event in both
+        const size_t index = static_cast<size_t>(
+            rng.NextInt(0, static_cast<int64_t>(pairing_ids.size()) - 1));
+        EXPECT_EQ(pairing.Cancel(pairing_ids[index]), compat.Cancel(compat_ids[index]));
+      } else {  // advance both clocks together
+        const SimTime until = rng.NextInt(0, 2'000);
+        EXPECT_EQ(pairing.RunUntil(until), compat.RunUntil(until));
+        EXPECT_EQ(pairing.now(), compat.now());
+      }
+    }
+    EXPECT_EQ(pairing.RunAll(), compat.RunAll());
+    EXPECT_EQ(pairing_log, compat_log);
+    EXPECT_EQ(pairing.now(), compat.now());
+    EXPECT_TRUE(pairing.Empty());
+    EXPECT_TRUE(compat.Empty());
+  }
+}
+
+TEST(SchedulerImplTest, EventIdsAreNotRecycledAcrossGenerations) {
+  // Slot+generation ids: a slot reused by a later event must not honor a
+  // stale handle to the earlier one.
+  EventScheduler scheduler(EventScheduler::Impl::kPairingHeap);
+  const EventId first = scheduler.ScheduleAt(10, [] {});
+  EXPECT_TRUE(scheduler.Cancel(first));
+  bool second_ran = false;
+  const EventId second = scheduler.ScheduleAt(20, [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(scheduler.Cancel(first));  // stale handle: same slot, old generation
+  scheduler.RunAll();
+  EXPECT_TRUE(second_ran);
 }
 
 TEST(SimulatorTest, SeedsAreReproducible) {

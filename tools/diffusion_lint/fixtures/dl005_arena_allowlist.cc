@@ -1,0 +1,39 @@
+// diffusion-lint: scope(src)
+// DL005 fixture: the arena allow-list. Files named *arena* are the
+// designated raw-new/delete zone (src/util/arena.{h,cc}): the bump
+// allocator legitimately calls operator new/delete for its blocks, and
+// every pooled object above it placement-news into arena slots. Nothing in
+// this file may produce a finding.
+#include <cstddef>
+#include <new>
+
+namespace fixture {
+
+struct Block {
+  Block* next = nullptr;
+  size_t capacity = 0;
+};
+
+Block* AcquireBlock(size_t capacity) {
+  void* raw = ::operator new(sizeof(Block) + capacity);
+  Block* block = new (raw) Block();
+  block->capacity = capacity;
+  return block;
+}
+
+void ReleaseBlocks(Block* head) {
+  while (head != nullptr) {
+    Block* next = head->next;
+    head->~Block();
+    ::operator delete(head);
+    head = next;
+  }
+}
+
+struct Slot {
+  int payload = 0;
+};
+
+Slot* RecycleSlot(void* storage) { return new (storage) Slot(); }
+
+}  // namespace fixture
