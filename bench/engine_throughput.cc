@@ -51,25 +51,14 @@
 namespace diffusion {
 namespace {
 
-// Folds a trace into one number. FNV-1a over every event field, truncated
-// to 53 bits so the value survives the JSON double round-trip exactly.
+// Folds a buffered trace into one number (the shared streaming fold from
+// src/trace/trace.h, same value FingerprintTraceSink would produce).
 uint64_t TraceFingerprint(const std::vector<TraceEvent>& events) {
-  uint64_t hash = 1469598103934665603ULL;
-  auto mix = [&hash](uint64_t word) {
-    for (int byte = 0; byte < 8; ++byte) {
-      hash ^= (word >> (8 * byte)) & 0xff;
-      hash *= 1099511628211ULL;
-    }
-  };
+  uint64_t hash = kTraceFingerprintSeed;
   for (const TraceEvent& event : events) {
-    mix(static_cast<uint64_t>(event.when));
-    mix(static_cast<uint64_t>(event.kind));
-    mix(event.node);
-    mix(event.peer);
-    mix(event.packet);
-    mix(static_cast<uint64_t>(event.value));
+    hash = FoldTraceEvent(hash, event);
   }
-  return hash & ((1ULL << 53) - 1);
+  return TruncateTraceFingerprint(hash);
 }
 
 Fig8Params BaseParams(uint64_t seed, SimDuration duration, bool compat) {

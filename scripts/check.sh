@@ -120,6 +120,21 @@ done
   --out=build/engine_j8.json >/dev/null
 cmp build/engine_j1.json build/engine_j8.json
 
+# Sharded-engine gates (docs/PERFORMANCE.md). The bench loop refreshed
+# BENCH_parallel.json; hold it to the schema and to the 4-thread speedup
+# ratchet (waived automatically when the file was recorded on fewer than 4
+# hardware threads — determinism is still enforced).
+./build/bench/parallel_scaling --check=BENCH_parallel.json --require-speedup=2.0
+
+# Sharded-engine determinism gate: a single 10k-node run's deterministic
+# section (event counts, bytes, border frames, trace fingerprint) is
+# byte-identical at --threads=1 and --threads=8.
+./build/bench/parallel_scaling --deterministic-only --threads=1 \
+  --out=build/parallel_t1.json >/dev/null
+./build/bench/parallel_scaling --deterministic-only --threads=8 \
+  --out=build/parallel_t8.json >/dev/null
+cmp build/parallel_t1.json build/parallel_t8.json
+
 # Parallel replication must not change results: the Figure-8 sweep's bench
 # JSON and merged trace are byte-identical at --jobs=1 and --jobs=8.
 ./build/bench/fig8_aggregation --runs=2 --minutes=1 --jobs=1 \

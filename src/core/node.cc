@@ -73,11 +73,6 @@ DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, NodeOp
   });
 }
 
-DiffusionNode::DiffusionNode(Simulator* sim, Channel* channel, NodeId id, DiffusionConfig config,
-                             RadioConfig radio_config)
-    : DiffusionNode(sim, channel, id,
-                    NodeOptions{.diffusion = std::move(config), .radio = radio_config}) {}
-
 DiffusionNode::~DiffusionNode() {
   for (auto& [handle, subscription] : subscriptions_) {
     if (subscription.refresh_event != kInvalidEventId) {

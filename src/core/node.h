@@ -111,13 +111,6 @@ class DiffusionNode {
   // configuration. `NodeOptions{}` reproduces the seed behavior exactly.
   DiffusionNode(Simulator* sim, Channel* channel, NodeId id, NodeOptions options = NodeOptions{});
 
-  // Deprecated positional-config shim; forwards to the NodeOptions
-  // constructor. Migrate to
-  //   DiffusionNode(sim, channel, id, NodeOptions{.diffusion = ..., .radio = ...}).
-  [[deprecated("use the NodeOptions constructor")]] DiffusionNode(
-      Simulator* sim, Channel* channel, NodeId id, DiffusionConfig config,
-      RadioConfig radio_config = RadioConfig{});
-
   ~DiffusionNode();
 
   DiffusionNode(const DiffusionNode&) = delete;

@@ -1,5 +1,6 @@
 #include "src/radio/channel.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -217,12 +218,69 @@ void Channel::Transmit(NodeId sender, Fragment fragment, SimDuration duration) {
     in_air->emplace_back(tx_id, tx.receptions.size() - 1);
   }
 
+  if (transmit_observer_ != nullptr) {
+    transmit_observer_->OnTransmit(sender, tx.fragment, tx.start, duration);
+  }
+
   if (compat_lookups_) {
     active_.emplace(tx_id, std::move(tx));
   } else {
     tx_slabs_[static_cast<uint32_t>(tx_id & 0xffffffff) - 1].tx = std::move(tx);
   }
   sim_->After(duration, [this, tx_id] { FinishTransmit(tx_id); });
+}
+
+void Channel::DeliverRemote(NodeId sender, const Fragment& fragment, SimDuration airtime) {
+  remote_delivery_scratch_.clear();
+  for (const auto& [node, endpoint] : endpoints_) {
+    remote_delivery_scratch_.push_back(node);
+  }
+  std::sort(remote_delivery_scratch_.begin(), remote_delivery_scratch_.end());
+
+  const uint64_t link_packet = (static_cast<uint64_t>(fragment.src) << 32) | fragment.message_seq;
+  for (NodeId node : remote_delivery_scratch_) {
+    ChannelEndpoint* endpoint = endpoints_[node];
+    if (node == sender || !endpoint->IsAlive() || !endpoint->IsAwake() ||
+        !propagation_->Reaches(sender, node)) {
+      continue;
+    }
+    ++stats_.receptions_attempted;
+    ChannelStats& receiver_stats = node_stats_[node];
+    ++receiver_stats.receptions_attempted;
+    bool busy = endpoint->IsTransmitting();
+    if (!busy) {
+      // Mid-reception of a local frame: the remote frame is lost to overlap
+      // (the local frame survives — see the header on the border model).
+      if (compat_lookups_) {
+        auto in_air_it = ongoing_.find(node);
+        busy = in_air_it != ongoing_.end() && !in_air_it->second.empty();
+      } else if (node < slot_of_.size() && slot_of_[node] != 0) {
+        busy = !slots_[slot_of_[node] - 1].in_air.empty();
+      }
+    }
+    if (busy) {
+      ++stats_.collisions;
+      ++receiver_stats.collisions;
+      if (sim_->tracing()) {
+        sim_->Trace(
+            TraceEvent{sim_->now(), TraceEventKind::kCollision, node, sender, link_packet, 0});
+      }
+      continue;
+    }
+    const double probability = propagation_->DeliveryProbability(sender, node, sim_->now());
+    if (!rng_.NextBool(probability)) {
+      ++stats_.propagation_losses;
+      ++receiver_stats.propagation_losses;
+      if (sim_->tracing()) {
+        sim_->Trace(TraceEvent{sim_->now(), TraceEventKind::kPropagationLoss, node, sender,
+                               link_packet, 0});
+      }
+      continue;
+    }
+    ++stats_.deliveries;
+    ++receiver_stats.deliveries;
+    endpoint->OnFrameDelivered(fragment, airtime);
+  }
 }
 
 void Channel::FinishTransmit(uint64_t tx_id) {

@@ -36,6 +36,16 @@ class ChannelEndpoint {
   virtual void OnFrameDelivered(const Fragment& fragment, SimDuration airtime) = 0;
 };
 
+// Observes every transmission as it starts. The sharded simulation core
+// (src/radio/region_bridge.h) uses this to mirror border-crossing frames
+// into other regions' channels without the channel knowing about regions.
+class TransmitObserver {
+ public:
+  virtual ~TransmitObserver() = default;
+  virtual void OnTransmit(NodeId sender, const Fragment& fragment, SimTime start,
+                          SimDuration duration) = 0;
+};
+
 struct ChannelStats {
   uint64_t transmissions = 0;
   uint64_t receptions_attempted = 0;  // (tx, reachable receiver) pairs
@@ -74,6 +84,20 @@ class Channel {
   // Puts `fragment` on the air for `duration`. Reception outcomes resolve
   // when the transmission ends.
   void Transmit(NodeId sender, Fragment fragment, SimDuration duration);
+
+  // Installs (or clears, with nullptr) the transmission observer. Called for
+  // every Transmit, after the transmission is on the air.
+  void set_transmit_observer(TransmitObserver* observer) { transmit_observer_ = observer; }
+
+  // Resolves a frame transmitted in another region against this channel's
+  // endpoints: `sender` is not attached here, but the propagation model knows
+  // its position, so reachability and link quality evaluate normally. The
+  // frame arrives fully decoded-or-not at once (a receiver mid-reception of a
+  // local frame loses the remote one to overlap, but the remote frame does
+  // not retroactively corrupt the local one — the documented border
+  // approximation of the sharded core). Receivers resolve in ascending node
+  // id order so the outcome is independent of hash-table layout.
+  void DeliverRemote(NodeId sender, const Fragment& fragment, SimDuration airtime);
 
   PropagationModel& propagation() { return *propagation_; }
   const ChannelStats& stats() const { return stats_; }
@@ -138,6 +162,8 @@ class Channel {
   Simulator* sim_;
   std::unique_ptr<PropagationModel> propagation_;
   bool compat_lookups_ = false;
+  TransmitObserver* transmit_observer_ = nullptr;
+  std::vector<NodeId> remote_delivery_scratch_;
   Rng rng_;
   std::unordered_map<NodeId, ChannelEndpoint*> endpoints_;
   uint64_t next_tx_id_ = 1;

@@ -43,6 +43,17 @@ const Position* DiskPropagation::GetPosition(NodeId node) const {
   return it != positions_.end() ? &it->second : nullptr;
 }
 
+std::vector<NodeId> DiskPropagation::LinkOverrideTargets(NodeId from) const {
+  std::vector<NodeId> targets;
+  for (const auto& [key, quality] : link_quality_) {
+    if (static_cast<NodeId>(key >> 32) == from) {
+      targets.push_back(static_cast<NodeId>(key & 0xffffffff));
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
 bool DiskPropagation::Reaches(NodeId from, NodeId to) const {
   if (from == to) {
     return false;

@@ -77,6 +77,18 @@ class DiskPropagation : public PropagationModel {
 
   const Position* GetPosition(NodeId node) const;
 
+  // Geometry the spatial region partition (src/radio/region_map.h) needs to
+  // bound which regions a node's transmissions can reach.
+  double range() const { return range_; }
+  double inter_floor_range() const { return inter_floor_range_; }
+
+  // Targets of explicit SetLinkQuality overrides from `from`, ascending.
+  // Overridden links are reachable regardless of distance, so the region
+  // link matrix must treat them as potential cross-region edges. (Blocked
+  // links are not subtracted: the matrix only needs a conservative
+  // superset.)
+  std::vector<NodeId> LinkOverrideTargets(NodeId from) const;
+
  private:
   using LinkKey = uint64_t;
   static LinkKey MakeKey(NodeId from, NodeId to) {

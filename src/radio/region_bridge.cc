@@ -1,0 +1,67 @@
+#include "src/radio/region_bridge.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace diffusion {
+
+RegionBridge::RegionBridge(const RegionLinkMatrix* matrix, std::vector<Channel*> channels)
+    : matrix_(matrix),
+      channels_(std::move(channels)),
+      pool_(static_cast<int>(channels_.size())) {
+  const int regions = static_cast<int>(channels_.size());
+  for (int src = 0; src < regions; ++src) {
+    for (int dst = 0; dst < regions; ++dst) {
+      if (src != dst && matrix_->Linked(src, dst)) {
+        pool_.Link(src, dst);
+      }
+    }
+  }
+  observers_.reserve(channels_.size());
+  for (int region = 0; region < regions; ++region) {
+    observers_.push_back(std::make_unique<Observer>(this, region));
+    channels_[static_cast<size_t>(region)]->set_transmit_observer(observers_.back().get());
+  }
+}
+
+RegionBridge::~RegionBridge() {
+  for (Channel* channel : channels_) {
+    channel->set_transmit_observer(nullptr);
+  }
+}
+
+void RegionBridge::OnRegionTransmit(int src_region, NodeId sender, const Fragment& fragment,
+                                    SimTime start, SimDuration duration) {
+  for (int dst : matrix_->RemoteTargets(sender)) {
+    pool_.Post(src_region, dst, sender, fragment, start, duration);
+  }
+}
+
+void RegionBridge::DrainInto(int dst_region, SimTime barrier) {
+  if (!pool_.HasPending(dst_region)) {
+    return;
+  }
+  pool_.DrainInto(dst_region, &drain_scratch_);
+  Channel* channel = channels_[static_cast<size_t>(dst_region)];
+  for (const BorderFrame* frame : drain_scratch_) {
+    const SimTime finish = frame->start + frame->duration;
+    const SimTime deliver = std::max(barrier, finish);
+    if (deliver > finish) {
+      ++deliveries_clamped_;
+    }
+    // The slot recycles at the next window; the closure owns its own copy.
+    channel->simulator().At(
+        deliver, [channel, sender = frame->sender, fragment = frame->fragment,
+                  airtime = frame->duration] { channel->DeliverRemote(sender, fragment, airtime); });
+  }
+}
+
+uint64_t RegionBridge::frames_handed_off() const {
+  uint64_t total = 0;
+  for (int region = 0; region < static_cast<int>(channels_.size()); ++region) {
+    total += pool_.posted_to(region);
+  }
+  return total;
+}
+
+}  // namespace diffusion

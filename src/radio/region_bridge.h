@@ -1,0 +1,75 @@
+// Couples per-region channels across region borders.
+//
+// The bridge installs a TransmitObserver on every region's channel; when a
+// node with remote reach (per RegionLinkMatrix) transmits, the frame is
+// flattened into the (src, dst) mailbox for every region it may touch. At
+// each window barrier the sharded engine calls DrainInto, which replays the
+// pending frames into the destination region's simulator as DeliverRemote
+// events at max(barrier, start + duration): a frame whose true finish time
+// falls inside the elapsed window is delivered at the barrier instead —
+// deterministically late by at most one window. With the default window
+// (min_frame_airtime from RegionLinkMatrix) no delivery is ever clamped;
+// larger windows trade that timing fidelity for fewer barriers, and
+// deliveries_clamped() reports how often it mattered.
+
+#ifndef SRC_RADIO_REGION_BRIDGE_H_
+#define SRC_RADIO_REGION_BRIDGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/radio/channel.h"
+#include "src/radio/region_mailbox.h"
+#include "src/radio/region_map.h"
+#include "src/sim/sharded_engine.h"
+
+namespace diffusion {
+
+class RegionBridge : public RegionCoupler {
+ public:
+  // `matrix` and every channel must outlive the bridge. Installs itself as
+  // each channel's transmit observer.
+  RegionBridge(const RegionLinkMatrix* matrix, std::vector<Channel*> channels);
+  ~RegionBridge() override;
+
+  // RegionCoupler: replays frames pending for `dst_region` as delivery
+  // events in its simulator. Barrier thread only.
+  void DrainInto(int dst_region, SimTime barrier) override;
+
+  // Total frames posted across all borders. Valid between windows only.
+  uint64_t frames_handed_off() const;
+
+  // Deliveries pushed later than their true finish time by the window
+  // granularity (see file comment). Barrier-thread counter.
+  uint64_t deliveries_clamped() const { return deliveries_clamped_; }
+
+ private:
+  // One per region; forwards transmissions into the bridge with the region
+  // id attached. Runs on the region's worker thread.
+  class Observer : public TransmitObserver {
+   public:
+    Observer(RegionBridge* bridge, int region) : bridge_(bridge), region_(region) {}
+    void OnTransmit(NodeId sender, const Fragment& fragment, SimTime start,
+                    SimDuration duration) override {
+      bridge_->OnRegionTransmit(region_, sender, fragment, start, duration);
+    }
+
+   private:
+    RegionBridge* bridge_;
+    int region_;
+  };
+
+  void OnRegionTransmit(int src_region, NodeId sender, const Fragment& fragment, SimTime start,
+                        SimDuration duration);
+
+  const RegionLinkMatrix* matrix_;
+  std::vector<Channel*> channels_;
+  std::vector<std::unique_ptr<Observer>> observers_;
+  RegionMailboxPool pool_;
+  std::vector<const BorderFrame*> drain_scratch_;
+  uint64_t deliveries_clamped_ = 0;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_REGION_BRIDGE_H_

@@ -1,0 +1,93 @@
+#include "src/radio/region_mailbox.h"
+
+#include <algorithm>
+
+namespace diffusion {
+
+RegionMailboxPool::RegionMailboxPool(int regions) : regions_(std::max(1, regions)) {
+  boxes_.resize(static_cast<size_t>(regions_) * static_cast<size_t>(regions_));
+  flatten_scratch_.resize(static_cast<size_t>(regions_));
+}
+
+void RegionMailboxPool::Link(int src_region, int dst_region) {
+  Box(src_region, dst_region).linked = true;
+}
+
+void RegionMailboxPool::Post(int src_region, int dst_region, NodeId sender,
+                             const Fragment& fragment, SimTime start, SimDuration duration) {
+  Mailbox& box = Box(src_region, dst_region);
+  if (box.live == box.slots.size()) {
+    box.slots.emplace_back();
+  }
+  BorderFrame& slot = box.slots[box.live++];
+  slot.start = start;
+  slot.duration = duration;
+  slot.sender = sender;
+  slot.src_region = src_region;
+  slot.seq = box.next_seq++;
+
+  Fragment& out = slot.fragment;
+  out.src = fragment.src;
+  out.dst = fragment.dst;
+  out.message_seq = fragment.message_seq;
+  out.index = fragment.index;
+  out.count = fragment.count;
+  out.priority = fragment.priority;
+  out.body = BodyRef();
+  out.body_offset = 0;
+  out.payload_len = 0;
+  if (fragment.body) {
+    // Materialize the zero-copy body's slice into the slot; the pooled body
+    // itself never leaves the source region's thread.
+    std::vector<uint8_t>& scratch = flatten_scratch_[static_cast<size_t>(src_region)];
+    scratch.clear();
+    fragment.body->AppendBytes(&scratch);
+    const uint8_t* begin = scratch.data() + fragment.body_offset;
+    out.payload.assign(begin, begin + fragment.payload_len);
+  } else {
+    out.payload.assign(fragment.payload.begin(), fragment.payload.end());
+  }
+  ++box.posted;
+}
+
+void RegionMailboxPool::DrainInto(int dst_region, std::vector<const BorderFrame*>* out) {
+  out->clear();
+  for (int src = 0; src < regions_; ++src) {
+    Mailbox& box = Box(src, dst_region);
+    for (size_t i = 0; i < box.live; ++i) {
+      out->push_back(&box.slots[i]);
+    }
+    box.live = 0;  // slots (and their payload capacity) recycle next window
+  }
+  // Each mailbox is already time-ordered (posts happen in the source
+  // region's event order); the merge key adds (src region, seq) so the drain
+  // order is a pure function of the frames, not of the mailbox layout.
+  std::sort(out->begin(), out->end(), [](const BorderFrame* a, const BorderFrame* b) {
+    if (a->start != b->start) {
+      return a->start < b->start;
+    }
+    if (a->src_region != b->src_region) {
+      return a->src_region < b->src_region;
+    }
+    return a->seq < b->seq;
+  });
+}
+
+uint64_t RegionMailboxPool::posted_to(int dst_region) const {
+  uint64_t total = 0;
+  for (int src = 0; src < regions_; ++src) {
+    total += Box(src, dst_region).posted;
+  }
+  return total;
+}
+
+bool RegionMailboxPool::HasPending(int dst_region) const {
+  for (int src = 0; src < regions_; ++src) {
+    if (Box(src, dst_region).live > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace diffusion

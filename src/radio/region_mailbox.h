@@ -1,0 +1,102 @@
+// Per-region-pair mailboxes for cross-region frame handoff.
+//
+// When a region transmits a frame whose interference disk crosses a region
+// boundary, the transmit observer posts a BorderFrame into the (src, dst)
+// mailbox. Mailboxes are single-writer: only the source region's worker
+// thread appends during a window, and only the barrier thread drains them
+// between windows (the sharded engine's barrier provides the happens-before
+// edges; no mailbox operation takes a lock).
+//
+// Frames are flattened at post time: a Fragment riding a pooled zero-copy
+// WireBody (src/radio/wire_body.h) must not cross threads — the body's
+// refcount is deliberately non-atomic and its storage belongs to the source
+// region's SlotPool — so the payload bytes are materialized into the
+// mailbox slot and the body reference stays home.
+//
+// Slots are pooled: a drained mailbox keeps its BorderFrames (and their
+// payload vectors' capacity) for reuse, so steady-state handoff performs no
+// allocation. This file is on diffusion-lint's DL005 designated-allocator
+// list alongside src/util/arena, should the pool ever need raw storage.
+
+#ifndef SRC_RADIO_REGION_MAILBOX_H_
+#define SRC_RADIO_REGION_MAILBOX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/radio/fragmentation.h"
+#include "src/radio/position.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+
+// One frame crossing a region boundary. `seq` is the per-mailbox append
+// sequence; (start, src_region, seq) totally orders a barrier's drain.
+struct BorderFrame {
+  SimTime start = 0;
+  SimDuration duration = 0;
+  NodeId sender = 0;
+  int src_region = 0;
+  uint64_t seq = 0;
+  Fragment fragment;  // flattened: byte payload, no body reference
+};
+
+class RegionMailboxPool {
+ public:
+  explicit RegionMailboxPool(int regions);
+
+  // Activates the (src, dst) mailbox. Posts to unlinked pairs are invalid.
+  void Link(int src_region, int dst_region);
+  bool linked(int src_region, int dst_region) const {
+    return Box(src_region, dst_region).linked;
+  }
+
+  // Appends a frame to the (src, dst) mailbox, flattening `fragment` into a
+  // recycled slot. Called from the source region's worker thread only.
+  void Post(int src_region, int dst_region, NodeId sender, const Fragment& fragment,
+            SimTime start, SimDuration duration);
+
+  // Collects every pending frame addressed to `dst_region` into `out`
+  // (cleared first), merged across source mailboxes in (start, src_region,
+  // seq) order, and marks the slots recycled. The pointers stay valid until
+  // the next Post into the drained mailboxes — i.e. through the barrier at
+  // which they were drained, long enough to copy each frame into its
+  // delivery closure. Barrier thread only.
+  void DrainInto(int dst_region, std::vector<const BorderFrame*>* out);
+
+  // Total frames posted to mailboxes targeting `dst_region` so far. Reads of
+  // another region's counters are only valid between windows.
+  uint64_t posted_to(int dst_region) const;
+
+  bool HasPending(int dst_region) const;
+
+ private:
+  struct Mailbox {
+    bool linked = false;
+    uint64_t next_seq = 0;
+    uint64_t posted = 0;
+    // Recycled slots: [0, live) hold pending frames; [live, size) keep their
+    // payload capacity from earlier windows.
+    std::vector<BorderFrame> slots;
+    size_t live = 0;
+  };
+
+  Mailbox& Box(int src_region, int dst_region) {
+    return boxes_[static_cast<size_t>(src_region) * static_cast<size_t>(regions_) +
+                  static_cast<size_t>(dst_region)];
+  }
+  const Mailbox& Box(int src_region, int dst_region) const {
+    return boxes_[static_cast<size_t>(src_region) * static_cast<size_t>(regions_) +
+                  static_cast<size_t>(dst_region)];
+  }
+
+  int regions_;
+  std::vector<Mailbox> boxes_;
+  // Per-source-region scratch for materializing zero-copy bodies (only the
+  // source region's worker touches its entry).
+  std::vector<std::vector<uint8_t>> flatten_scratch_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_RADIO_REGION_MAILBOX_H_

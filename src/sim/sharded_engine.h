@@ -1,0 +1,149 @@
+// Parallel single-run simulation core: conservative time windows over
+// spatially sharded schedulers.
+//
+// One simulation run is partitioned into regions. Each region owns a full
+// Simulator (pairing-heap scheduler, arena, RNG stream, trace buffer) and
+// advances independently inside half-open time windows [k·L, (k+1)·L). At
+// each window boundary every region has reached the same time, and a
+// RegionCoupler hands cross-region work over — single-threaded, in a fixed
+// (time, source region, sequence) order — before the next window starts.
+//
+// The window length L is the conservative lookahead: no event executed
+// inside a window may affect another region earlier than the next barrier.
+// For the radio substrate that bound comes from frame airtime (a frame
+// transmitted in window k cannot finish before barrier k+1 as long as
+// L ≤ its on-air duration); src/radio/region_map.h derives it.
+//
+// Determinism contract (the DL003 guarantee ReplicationPool defends for
+// replicates, extended to one run): the engine's output — every region's
+// event stream, the merged trace, all statistics — is a pure function of
+// (construction order, seed, regions, window). The thread count only decides
+// which worker advances which region between barriers; regions never share
+// mutable state inside a window, so output is byte-identical at any thread
+// count, including threads=1. A one-region engine degenerates to the
+// sequential Simulator exactly (region 0 keeps the run seed).
+
+#ifndef SRC_SIM_SHARDED_ENGINE_H_
+#define SRC_SIM_SHARDED_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/trace/trace.h"
+#include "src/util/time.h"
+
+namespace diffusion {
+
+// Couples regions at window barriers. The radio layer's RegionBridge is the
+// production implementation; tests substitute their own.
+class RegionCoupler {
+ public:
+  virtual ~RegionCoupler() = default;
+
+  // Drains everything posted toward `dst_region` during the window that just
+  // ended and schedules it into that region's simulator at or after
+  // `barrier`. Runs on the barrier thread with every region quiescent,
+  // invoked for regions in ascending order.
+  virtual void DrainInto(int dst_region, SimTime barrier) = 0;
+};
+
+// Seed of region `region`'s Simulator under run seed `seed`. Region 0 keeps
+// the run seed itself — a one-region sharded run reproduces the sequential
+// engine byte-for-byte — and other regions get SplitMix64-derived
+// independent streams.
+uint64_t RegionSeed(uint64_t seed, int region);
+
+struct ShardedEngineConfig {
+  int regions = 1;
+  // Worker threads advancing regions between barriers; 0 means
+  // std::thread::hardware_concurrency(). Clamped to the region count. Output
+  // is identical for every value.
+  unsigned threads = 1;
+  // Conservative lookahead window (must be positive).
+  SimDuration window = 1 * kMillisecond;
+  uint64_t seed = 1;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const ShardedEngineConfig& config);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int regions() const { return static_cast<int>(sims_.size()); }
+  unsigned threads() const { return threads_; }
+  SimDuration window() const { return window_; }
+
+  Simulator& region_sim(int region) { return *sims_[static_cast<size_t>(region)]; }
+
+  // The coupler is borrowed and drained at every barrier; null disables
+  // cross-region handoff (isolated regions).
+  void set_coupler(RegionCoupler* coupler) { coupler_ = coupler; }
+
+  // Routes every region's trace into a per-region buffer and merges the
+  // buffers into `sink` at each barrier, ordered by (time, region, per-region
+  // emission order). The merged stream is invariant under the thread count.
+  // Null detaches tracing. Constant memory: buffers drain every window.
+  void set_merged_trace_sink(TraceSink* sink);
+
+  // Advances every region to `end` inclusive (the Simulator::RunUntil
+  // convention) in conservative windows, draining the coupler and merging
+  // traces at each barrier. Returns events executed across all regions
+  // during this call. Subsequent calls continue from where the last ended.
+  uint64_t RunUntil(SimTime end);
+
+  // Events executed across all regions since construction.
+  uint64_t events_executed() const;
+
+  uint64_t windows_run() const { return windows_run_; }
+
+ private:
+  void RunShare(unsigned tid, SimTime bound);
+  void RunWindow(SimTime bound);
+  void MergeTraces();
+  void WorkerLoop(unsigned tid);
+
+  SimDuration window_;
+  unsigned threads_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<uint64_t> events_by_region_;
+  RegionCoupler* coupler_ = nullptr;
+
+  TraceSink* merged_sink_ = nullptr;
+  std::vector<std::unique_ptr<MemoryTraceSink>> region_traces_;
+  struct MergeRef {
+    SimTime when;
+    int region;
+    size_t index;
+  };
+  std::vector<MergeRef> merge_scratch_;
+
+  SimTime cursor_ = 0;  // start of the next window
+  uint64_t windows_run_ = 0;
+
+  // Barrier state. Workers advance their statically assigned regions
+  // (region % threads == tid) when `generation_` moves, then decrement
+  // `running_`; the mutex hand-offs give every cross-thread access to the
+  // region simulators a happens-before edge in both directions.
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  SimTime bound_ = 0;
+  unsigned running_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> worker_errors_;  // per region
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace diffusion
+
+#endif  // SRC_SIM_SHARDED_ENGINE_H_

@@ -70,6 +70,16 @@ struct Fig8Params {
   bool compat_scheduler = false;  // compacting binary heap
   bool compat_wire = false;       // serialize per hop (no pooled bodies)
   bool compat_channel = false;    // hash-table lookups, no reach memo
+  // Run on the spatially sharded parallel core (src/testbed/sharded_world.h)
+  // instead of one monolithic Simulator. 0 or 1 keeps the sequential engine.
+  // Sharded runs are deterministic at any thread count but are a border
+  // approximation of the monolithic run, so they are a separate measurement
+  // series, not a byte-identical replica. Sequential-only features fall back
+  // or are ignored in parallel mode: shadowing falls back to the sequential
+  // engine, and the compat_* baselines (pre-overhaul engine) do not exist
+  // sharded.
+  int parallel_regions = 0;
+  unsigned parallel_threads = 1;  // 0 = hardware concurrency
 };
 
 struct Fig8Result {

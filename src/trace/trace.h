@@ -112,6 +112,49 @@ class MemoryTraceSink : public TraceSink {
   std::vector<TraceEvent> events_;
 };
 
+// Streaming trace fingerprint: FNV-1a folded over every event field, so two
+// runs can be compared without buffering either trace. The final value is
+// truncated to 53 bits so it survives a JSON double round-trip exactly (the
+// bench files store it as a number).
+inline constexpr uint64_t kTraceFingerprintSeed = 1469598103934665603ULL;
+
+inline uint64_t FoldTraceEvent(uint64_t hash, const TraceEvent& event) {
+  auto mix = [&hash](uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (word >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(event.when));
+  mix(static_cast<uint64_t>(event.kind));
+  mix(event.node);
+  mix(event.peer);
+  mix(event.packet);
+  mix(static_cast<uint64_t>(event.value));
+  return hash;
+}
+
+inline uint64_t TruncateTraceFingerprint(uint64_t hash) { return hash & ((1ULL << 53) - 1); }
+
+// Sink that folds the stream into one number as it arrives — constant
+// memory, so a multi-million-event run (bench/parallel_scaling's 10k-node
+// world) can assert byte-identical traces across thread counts without
+// holding any of them.
+class FingerprintTraceSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override {
+    hash_ = FoldTraceEvent(hash_, event);
+    ++count_;
+  }
+
+  uint64_t fingerprint() const { return TruncateTraceFingerprint(hash_); }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t hash_ = kTraceFingerprintSeed;
+  uint64_t count_ = 0;
+};
+
 // Duplicates every event to two sinks (e.g. a JSONL writer plus an in-memory
 // buffer for live queries). Either may be null.
 class TeeTraceSink : public TraceSink {

@@ -344,43 +344,5 @@ TEST(TrafficPolicyEquivalenceTest, DisabledLayersAreByteIdenticalToSeed) {
   }
 }
 
-TEST(NodeOptionsTest, DeprecatedConstructorMatchesNodeOptions) {
-  // The shim forwards to NodeOptions: same seed, same workload, identical
-  // event-for-event trace.
-  const auto run = [](bool use_shim, MemoryTraceSink* trace) {
-    Simulator sim(7);
-    sim.set_trace_sink(trace);
-    auto channel = MakeCliqueChannel(&sim, 2);
-    DiffusionConfig dconfig;
-    std::unique_ptr<DiffusionNode> sink;
-    std::unique_ptr<DiffusionNode> source;
-    if (use_shim) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-      sink = std::make_unique<DiffusionNode>(&sim, channel.get(), 1, dconfig, FastRadio());
-      source = std::make_unique<DiffusionNode>(&sim, channel.get(), 2, dconfig, FastRadio());
-#pragma GCC diagnostic pop
-    } else {
-      sink = std::make_unique<DiffusionNode>(
-          &sim, channel.get(), 1, NodeOptions{.diffusion = dconfig, .radio = FastRadio()});
-      source = std::make_unique<DiffusionNode>(
-          &sim, channel.get(), 2, NodeOptions{.diffusion = dconfig, .radio = FastRadio()});
-    }
-    (void)sink->Subscribe(Query(), [](const AttributeVector&) {});
-    PublicationHandle handle = source->Publish(Publication());
-    sim.At(2 * kSecond, [&source, handle] { (void)source->Send(handle, {}); });
-    sim.RunUntil(10 * kSecond);
-  };
-
-  MemoryTraceSink shim_trace;
-  MemoryTraceSink options_trace;
-  run(/*use_shim=*/true, &shim_trace);
-  run(/*use_shim=*/false, &options_trace);
-  ASSERT_EQ(shim_trace.events().size(), options_trace.events().size());
-  for (size_t i = 0; i < shim_trace.events().size(); ++i) {
-    ASSERT_EQ(shim_trace.events()[i], options_trace.events()[i]) << "event " << i;
-  }
-}
-
 }  // namespace
 }  // namespace diffusion

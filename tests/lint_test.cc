@@ -123,6 +123,8 @@ TEST(LintRulesTest, RawNewDeleteExceptions) {
             std::vector<std::string>{"DL005"});
   EXPECT_TRUE(LintContent("src/x.cc", "Foo(const Foo&) = delete;\n").empty());
   EXPECT_TRUE(LintContent("src/util/arena.h", "char* p = new char[64];\n").empty());
+  EXPECT_TRUE(
+      LintContent("src/radio/region_mailbox.cc", "char* p = new char[64];\n").empty());
 }
 
 TEST(LintRulesTest, FilterCallbackMustSendOrDocumentDrop) {

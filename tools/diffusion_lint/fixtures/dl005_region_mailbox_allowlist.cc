@@ -1,0 +1,20 @@
+// diffusion-lint: scope(src)
+// DL005 fixture: the region-mailbox allow-list. Files named *region_mailbox*
+// are a designated allocator alongside *arena*: the border-frame mailbox pool
+// (src/radio/region_mailbox.{h,cc}) recycles frame slots across windows and
+// may legitimately placement-new into recycled storage. Nothing in this file
+// may produce a finding.
+#include <cstddef>
+#include <new>
+
+namespace fixture {
+
+struct BorderSlot {
+  size_t payload_len = 0;
+};
+
+BorderSlot* RecycleBorderSlot(void* storage) { return new (storage) BorderSlot(); }
+
+void DropBorderSlot(BorderSlot* slot) { delete slot; }
+
+}  // namespace fixture

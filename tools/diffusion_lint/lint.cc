@@ -307,7 +307,7 @@ const RuleInfo kRules[] = {
     {"DL003", "unordered-trace-iteration",
      "iteration over an unordered container feeding TraceSink/bench-JSON output"},
     {"DL004", "ignored-result", "ApiResult-returning call used as a bare statement"},
-    {"DL005", "raw-new-delete", "raw new/delete outside a designated arena"},
+    {"DL005", "raw-new-delete", "raw new/delete outside a designated allocator"},
     {"DL006", "filter-drop",
      "filter callback path that neither re-injects the message nor documents a drop"},
 };
@@ -573,10 +573,12 @@ void CheckIgnoredResult(const std::string& file, const Preprocessed& pp,
 }
 
 // DL005 — ownership lives in containers and unique_ptr; raw new/delete is
-// reserved for designated arena allocators (files named *arena*).
+// reserved for designated allocators: arena files (*arena*) and the region
+// mailbox pool (*region_mailbox*), which recycles border-frame slots.
 void CheckRawNewDelete(const std::string& file, const Preprocessed& pp,
                        std::vector<Diagnostic>* out) {
-  if (file.find("arena") != std::string::npos) {
+  if (file.find("arena") != std::string::npos ||
+      file.find("region_mailbox") != std::string::npos) {
     return;
   }
   const std::string& code = pp.code;
@@ -620,7 +622,8 @@ void CheckRawNewDelete(const std::string& file, const Preprocessed& pp,
         if (is_expression && !deleted_function) {
           Emit(out, file, pp.LineAt(at), kRules[4],
                std::string("raw '") + word +
-                   "' outside a designated arena; use containers or std::make_unique");
+                   "' outside a designated allocator (*arena*, *region_mailbox*); use "
+                   "containers or std::make_unique");
         }
       }
       at = code.find(word, at + len);
