@@ -65,6 +65,7 @@ struct RunOutput {
   uint64_t diffusion_bytes = 0;
   uint64_t border_frames = 0;
   uint64_t deliveries_clamped = 0;
+  std::vector<uint64_t> clamped_by_region;
   uint64_t fingerprint = 0;
   uint64_t trace_events = 0;
   size_t distinct_events = 0;
@@ -130,6 +131,9 @@ RunOutput RunWorld(int side, int regions, unsigned threads, uint64_t seed, int s
   }
   output.border_frames = world.bridge().frames_handed_off();
   output.deliveries_clamped = world.bridge().deliveries_clamped();
+  for (int r = 0; r < world.region_map().regions(); ++r) {
+    output.clamped_by_region.push_back(world.bridge().deliveries_clamped_in(r));
+  }
   output.fingerprint = trace.fingerprint();
   output.trace_events = trace.count();
   for (const auto& sink : sinks) {
@@ -138,6 +142,16 @@ RunOutput RunWorld(int side, int regions, unsigned threads, uint64_t seed, int s
   output.regions = world.region_map().regions();
   output.window = world.window();
   return output;
+}
+
+// Per-region clamp counters (bridge.deliveries_clamped.r<N> in the metrics
+// registry). Deterministic: clamping depends only on window geometry, so these
+// belong in the cmp-gated deterministic section alongside the total.
+void AppendPerRegionClamps(const RunOutput& run, std::vector<bench::BenchResult>* results) {
+  for (size_t r = 0; r < run.clamped_by_region.size(); ++r) {
+    results->push_back({"deliveries_clamped_r" + std::to_string(r), "count",
+                        static_cast<double>(run.clamped_by_region[r])});
+  }
 }
 
 bool ReadBenchValue(const std::string& path, const std::string& name, double* value) {
@@ -228,7 +242,7 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.fingerprint),
                 static_cast<unsigned long long>(run.trace_events), run.distinct_events);
     if (!out.empty()) {
-      const std::vector<bench::BenchResult> results = {
+      std::vector<bench::BenchResult> results = {
           {"nodes", "count", static_cast<double>(side * side)},
           {"regions", "count", static_cast<double>(run.regions)},
           {"window_us", "us", static_cast<double>(run.window / kMicrosecond)},
@@ -240,6 +254,7 @@ int Main(int argc, char** argv) {
           {"trace_fingerprint", "hash53", static_cast<double>(run.fingerprint)},
           {"trace_events", "count", static_cast<double>(run.trace_events)},
       };
+      AppendPerRegionClamps(run, &results);
       if (!bench::WriteBenchJson(out, "parallel_scaling", results)) {
         return 1;
       }
@@ -292,7 +307,7 @@ int Main(int argc, char** argv) {
   std::printf("%-28s  %16u\n", "hardware threads", threads_available);
 
   if (!out.empty()) {
-    const std::vector<bench::BenchResult> results = {
+    std::vector<bench::BenchResult> results = {
         {"nodes", "count", static_cast<double>(side * side)},
         {"regions", "count", static_cast<double>(fp_runs[0].regions)},
         {"window_us", "us", static_cast<double>(fp_runs[0].window / kMicrosecond)},
@@ -309,6 +324,7 @@ int Main(int argc, char** argv) {
         {"parallel_speedup_4t", "x", speedup_4t},
         {"threads_available", "count", static_cast<double>(threads_available)},
     };
+    AppendPerRegionClamps(fp_runs[0], &results);
     if (!bench::WriteBenchJson(out, "parallel_scaling", results)) {
       return 1;
     }

@@ -2,11 +2,26 @@
 # Full verification pipeline: hygiene, configure, build, test, run every
 # benchmark.
 #
-#   scripts/check.sh          full pipeline (includes the diffusion-lint gate)
-#   scripts/check.sh --lint   just diffusion-lint over src/bench/tests/examples
-#   scripts/check.sh --tidy   just clang-tidy (skips with a warning if absent)
+#   scripts/check.sh            full pipeline (includes the diffusion-lint gate)
+#   scripts/check.sh --lint     just diffusion-lint over src/bench/tests/examples
+#   scripts/check.sh --tidy     just clang-tidy (skips with a warning if absent)
+#   scripts/check.sh --analyze  just the Clang Static Analyzer gate (skips with
+#                               a warning if clang-tidy is absent); findings are
+#                               compared against scripts/analyze_baseline.txt
+#                               and any new one fails the gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Every gate records whether it ran or was skipped (toolchain-dependent gates
+# skip locally; CI carries them). The table prints on every exit, pass or fail.
+GATES_RAN=()
+GATES_SKIPPED=()
+note_ran() { GATES_RAN+=("$1"); }
+note_skip() { GATES_SKIPPED+=("$1"); }
+print_gate_summary() {
+  echo "gates: ran [${GATES_RAN[*]:-}]  skipped [${GATES_SKIPPED[*]:-none}]"
+}
+trap print_gate_summary EXIT
 
 # diffusion-lint gate (docs/STATIC_ANALYSIS.md). Uses the CMake-built binary
 # when present; otherwise compiles the two-file tool directly — it has no
@@ -19,6 +34,7 @@ run_lint() {
       tools/diffusion_lint/lint.cc tools/diffusion_lint/main.cc -o "${tool}"
   fi
   "${tool}" src bench tests examples
+  note_ran lint
 }
 
 # clang-tidy gate over the compilation database. CI enforces this with
@@ -27,6 +43,7 @@ run_lint() {
 run_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "WARNING: clang-tidy not found; skipping tidy gate (CI enforces it)" >&2
+    note_skip tidy
     return 0
   fi
   if [[ ! -f build/compile_commands.json ]]; then
@@ -34,13 +51,51 @@ run_tidy() {
   fi
   git ls-files '*.cc' -- src bench tests examples \
     | xargs clang-tidy -p build --quiet --warnings-as-errors='*'
+  note_ran tidy
+}
+
+# Clang Static Analyzer gate (docs/STATIC_ANALYSIS.md): the path-sensitive
+# clang-analyzer-* checks, run through clang-tidy so they share the
+# compilation database. Findings are normalized to "path|check" lines and
+# compared against the committed baseline; anything not in the baseline fails.
+# The baseline is kept empty — a finding is either fixed or, when provably
+# spurious, suppressed in the code with an [[clang::suppress]]-style comment
+# and a baseline entry reviewed in the same PR.
+run_analyze() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "WARNING: clang-tidy not found; skipping analyzer gate (CI enforces it)" >&2
+    note_skip analyze
+    return 0
+  fi
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -B build -G Ninja
+  fi
+  local checks='-*,clang-analyzer-core.*,clang-analyzer-cplusplus.*'
+  checks+=',clang-analyzer-deadcode.*,clang-analyzer-unix.*,clang-analyzer-security.*'
+  # --warnings-as-errors='-*' so clang-tidy's exit status does not preempt the
+  # baseline comparison; grep exits 1 on a fully clean tree, hence the guard.
+  git ls-files '*.cc' -- src bench tests examples \
+    | xargs clang-tidy -p build --quiet --checks="${checks}" --warnings-as-errors='-*' \
+    | { grep -E '^[^ ]+:[0-9]+:[0-9]+: warning: ' || true; } \
+    | sed -E -e "s|^$(pwd)/||" -e 's|^([^:]+):[0-9]+:[0-9]+: warning: .*\[([^][]+)\]$|\1\|\2|' \
+    | sort -u > build/analyze_findings.txt
+  grep -v -e '^#' -e '^$' scripts/analyze_baseline.txt | sort -u > build/analyze_baseline.txt
+  comm -23 build/analyze_findings.txt build/analyze_baseline.txt > build/analyze_new.txt
+  if [[ -s build/analyze_new.txt ]]; then
+    echo "ERROR: new static-analyzer findings (path|check), not in scripts/analyze_baseline.txt:" >&2
+    cat build/analyze_new.txt >&2
+    return 1
+  fi
+  echo "analyzer: clean ($(wc -l < build/analyze_findings.txt) finding(s), all baselined)"
+  note_ran analyze
 }
 
 case "${1:-}" in
   --lint) run_lint; exit 0 ;;
   --tidy) run_tidy; exit 0 ;;
+  --analyze) run_analyze; exit 0 ;;
   "") ;;
-  *) echo "usage: $0 [--lint|--tidy]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--lint|--tidy|--analyze]" >&2; exit 2 ;;
 esac
 
 # Repo hygiene: build trees and their artifacts must never be committed.
@@ -53,6 +108,7 @@ if git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
     echo "${tracked_artifacts}" >&2
     exit 1
   fi
+  note_ran hygiene
 fi
 
 # Formatting gate: the tree must be clang-format clean (see .clang-format).
@@ -61,19 +117,26 @@ fi
 if command -v clang-format >/dev/null 2>&1; then
   git ls-files '*.cc' '*.h' -- src bench tests examples \
     | xargs clang-format --dry-run -Werror
+  note_ran format
 else
   echo "WARNING: clang-format not found; skipping format gate (CI enforces it)" >&2
+  note_skip format
 fi
 
 cmake -B build -G Ninja
 cmake --build build
+note_ran build
 
 # Project-specific static analysis: the tree must be diffusion-lint clean.
 ./build/tools/diffusion_lint src bench tests examples
-# clang-tidy baseline (no-op locally without the binary; CI enforces).
+note_ran lint
+# clang-tidy baseline and the Clang Static Analyzer (no-op locally without
+# the binary; CI enforces both).
 run_tidy
+run_analyze
 
 ctest --test-dir build --output-on-failure
+note_ran tests
 for b in build/bench/*; do
   echo "===== $b"
   "$b"
@@ -143,4 +206,5 @@ cmp build/parallel_t1.json build/parallel_t8.json
   --bench-json=build/fig8_j8.json --trace-out=build/fig8_j8.jsonl >/dev/null
 cmp build/fig8_j1.json build/fig8_j8.json
 cmp build/fig8_j1.jsonl build/fig8_j8.jsonl
+note_ran benches
 echo "ALL CHECKS PASSED"

@@ -18,6 +18,7 @@
 #include "src/radio/propagation.h"
 #include "src/sim/simulator.h"
 #include "src/trace/metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace diffusion {
 
@@ -57,7 +58,12 @@ struct ChannelStats {
 // `a - b`, field-wise. Used for per-endpoint deltas across a reattach.
 ChannelStats operator-(const ChannelStats& a, const ChannelStats& b);
 
-class Channel {
+// Thread-compatible: a channel (like the Simulator it schedules on) belongs
+// to one region and is only touched by that region's owning worker inside a
+// window. Cross-region traffic enters via DeliverRemote events the barrier
+// thread schedules between windows — never by calling into another region's
+// live channel.
+class DIFFUSION_THREAD_COMPATIBLE Channel {
  public:
   Channel(Simulator* sim, std::unique_ptr<PropagationModel> propagation);
 
@@ -86,7 +92,10 @@ class Channel {
   void Transmit(NodeId sender, Fragment fragment, SimDuration duration);
 
   // Installs (or clears, with nullptr) the transmission observer. Called for
-  // every Transmit, after the transmission is on the air.
+  // every Transmit, after the transmission is on the air — i.e. on the
+  // thread that owns this channel's region, which is what lets the observer
+  // assert the mailbox writer role (src/radio/region_bridge.h). Install and
+  // clear on the barrier/setup side only.
   void set_transmit_observer(TransmitObserver* observer) { transmit_observer_ = observer; }
 
   // Resolves a frame transmitted in another region against this channel's

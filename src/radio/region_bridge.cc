@@ -1,6 +1,7 @@
 #include "src/radio/region_bridge.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace diffusion {
@@ -9,7 +10,11 @@ RegionBridge::RegionBridge(const RegionLinkMatrix* matrix, std::vector<Channel*>
     : matrix_(matrix),
       channels_(std::move(channels)),
       pool_(static_cast<int>(channels_.size())) {
+  // Construction happens before any window starts — the setup side of the
+  // barrier role.
+  pool_.barrier_role().Assert();
   const int regions = static_cast<int>(channels_.size());
+  clamped_by_region_.assign(static_cast<size_t>(regions), 0);
   for (int src = 0; src < regions; ++src) {
     for (int dst = 0; dst < regions; ++dst) {
       if (src != dst && matrix_->Linked(src, dst)) {
@@ -38,6 +43,9 @@ void RegionBridge::OnRegionTransmit(int src_region, NodeId sender, const Fragmen
 }
 
 void RegionBridge::DrainInto(int dst_region, SimTime barrier) {
+  // The sharded engine invokes couplers on the barrier thread with every
+  // region quiescent (RegionCoupler contract).
+  pool_.barrier_role().Assert();
   if (!pool_.HasPending(dst_region)) {
     return;
   }
@@ -47,7 +55,7 @@ void RegionBridge::DrainInto(int dst_region, SimTime barrier) {
     const SimTime finish = frame->start + frame->duration;
     const SimTime deliver = std::max(barrier, finish);
     if (deliver > finish) {
-      ++deliveries_clamped_;
+      ++clamped_by_region_[static_cast<size_t>(dst_region)];
     }
     // The slot recycles at the next window; the closure owns its own copy.
     channel->simulator().At(
@@ -57,11 +65,33 @@ void RegionBridge::DrainInto(int dst_region, SimTime barrier) {
 }
 
 uint64_t RegionBridge::frames_handed_off() const {
+  // Counter reads are only coherent between windows (see header).
+  pool_.barrier_role().Assert();
   uint64_t total = 0;
   for (int region = 0; region < static_cast<int>(channels_.size()); ++region) {
     total += pool_.posted_to(region);
   }
   return total;
+}
+
+uint64_t RegionBridge::deliveries_clamped() const {
+  uint64_t total = 0;
+  for (uint64_t clamped : clamped_by_region_) {
+    total += clamped;
+  }
+  return total;
+}
+
+void RegionBridge::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterGlobalCounter("bridge.frames_handed_off",
+                                  [this] { return static_cast<double>(frames_handed_off()); });
+  registry->RegisterGlobalCounter("bridge.deliveries_clamped",
+                                  [this] { return static_cast<double>(deliveries_clamped()); });
+  for (size_t region = 0; region < clamped_by_region_.size(); ++region) {
+    registry->RegisterGlobalCounter(
+        "bridge.deliveries_clamped.r" + std::to_string(region),
+        [this, region] { return static_cast<double>(clamped_by_region_[region]); });
+  }
 }
 
 }  // namespace diffusion

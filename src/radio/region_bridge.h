@@ -15,6 +15,7 @@
 #ifndef SRC_RADIO_REGION_BRIDGE_H_
 #define SRC_RADIO_REGION_BRIDGE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "src/radio/region_mailbox.h"
 #include "src/radio/region_map.h"
 #include "src/sim/sharded_engine.h"
+#include "src/trace/metrics.h"
+#include "src/util/thread_annotations.h"
 
 namespace diffusion {
 
@@ -40,8 +43,18 @@ class RegionBridge : public RegionCoupler {
   uint64_t frames_handed_off() const;
 
   // Deliveries pushed later than their true finish time by the window
-  // granularity (see file comment). Barrier-thread counter.
-  uint64_t deliveries_clamped() const { return deliveries_clamped_; }
+  // granularity (see file comment). Barrier-thread counters; read them
+  // between windows (or after the run), like frames_handed_off().
+  uint64_t deliveries_clamped() const;
+  uint64_t deliveries_clamped_in(int dst_region) const {
+    return clamped_by_region_[static_cast<size_t>(dst_region)];
+  }
+
+  // Publishes "bridge.frames_handed_off", "bridge.deliveries_clamped" and a
+  // per-region "bridge.deliveries_clamped.r<N>" gauge family as global
+  // counters. The registry borrows `this`; unregister (or drop the registry)
+  // before the bridge dies. Collect between windows only.
+  void RegisterMetrics(MetricsRegistry* registry) const;
 
  private:
   // One per region; forwards transmissions into the bridge with the region
@@ -51,6 +64,11 @@ class RegionBridge : public RegionCoupler {
     Observer(RegionBridge* bridge, int region) : bridge_(bridge), region_(region) {}
     void OnTransmit(NodeId sender, const Fragment& fragment, SimTime start,
                     SimDuration duration) override {
+      // Channel::Transmit runs on the owning region's worker thread, which
+      // makes this thread the mailbox writer for src_region (= region_).
+      // Deleting this Assert fails the clang -Wthread-safety build: the
+      // OnRegionTransmit call below REQUIRES the writer role.
+      bridge_->pool_.writer_role().Assert();
       bridge_->OnRegionTransmit(region_, sender, fragment, start, duration);
     }
 
@@ -60,14 +78,15 @@ class RegionBridge : public RegionCoupler {
   };
 
   void OnRegionTransmit(int src_region, NodeId sender, const Fragment& fragment, SimTime start,
-                        SimDuration duration);
+                        SimDuration duration) DIFFUSION_REQUIRES(pool_.writer_role());
 
   const RegionLinkMatrix* matrix_;
   std::vector<Channel*> channels_;
   std::vector<std::unique_ptr<Observer>> observers_;
   RegionMailboxPool pool_;
-  std::vector<const BorderFrame*> drain_scratch_;
-  uint64_t deliveries_clamped_ = 0;
+  std::vector<const BorderFrame*> drain_scratch_ DIFFUSION_BARRIER_OWNED;
+  // Indexed by destination region; bumped on the barrier thread in DrainInto.
+  std::vector<uint64_t> clamped_by_region_ DIFFUSION_BARRIER_OWNED;
 };
 
 }  // namespace diffusion

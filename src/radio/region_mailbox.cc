@@ -1,6 +1,9 @@
 #include "src/radio/region_mailbox.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 namespace diffusion {
 
@@ -16,6 +19,21 @@ void RegionMailboxPool::Link(int src_region, int dst_region) {
 void RegionMailboxPool::Post(int src_region, int dst_region, NodeId sender,
                              const Fragment& fragment, SimTime start, SimDuration duration) {
   Mailbox& box = Box(src_region, dst_region);
+  // Dynamic half of the single-writer contract (the static half is clang's
+  // REQUIRES(writer_role_) plus diffusion-lint DL009): the first Post since
+  // the last drain pins the mailbox to this thread, and a second writer is a
+  // determinism bug — abort unconditionally, in release builds too, because
+  // a silently interleaved mailbox breaks byte-identical replay.
+  const std::thread::id self = std::this_thread::get_id();
+  if (box.writer == std::thread::id()) {
+    box.writer = self;
+  } else if (box.writer != self) {
+    std::fprintf(stderr,
+                 "RegionMailboxPool: single-writer violation: mailbox (%d -> %d) "
+                 "posted from two threads within one window\n",
+                 src_region, dst_region);
+    std::abort();
+  }
   if (box.live == box.slots.size()) {
     box.slots.emplace_back();
   }
@@ -58,6 +76,7 @@ void RegionMailboxPool::DrainInto(int dst_region, std::vector<const BorderFrame*
       out->push_back(&box.slots[i]);
     }
     box.live = 0;  // slots (and their payload capacity) recycle next window
+    box.writer = std::thread::id();  // next window may assign a new owner
   }
   // Each mailbox is already time-ordered (posts happen in the source
   // region's event order); the merge key adds (src region, seq) so the drain

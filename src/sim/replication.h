@@ -77,7 +77,10 @@ class ReplicationPool {
   size_t executed() const { return executed_.load(std::memory_order_relaxed); }
 
  private:
-  unsigned jobs_;
+  // Immutable after construction; everything else shared with workers is
+  // atomic, so the pool itself needs no mutex (Run()'s internal handoff
+  // state lives on the calling thread's stack).
+  const unsigned jobs_;
   std::atomic<bool> cancelled_{false};
   std::atomic<size_t> executed_{0};
 };

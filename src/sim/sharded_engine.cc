@@ -16,12 +16,17 @@ uint64_t RegionSeed(uint64_t seed, int region) {
   return z ^ (z >> 31);
 }
 
-ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
-    : window_(config.window > 0 ? config.window : 1 * kMillisecond) {
+unsigned ShardedEngine::ResolveThreads(const ShardedEngineConfig& config) {
   const int regions = std::max(1, config.regions);
-  unsigned threads = config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
-  threads = std::max(1u, std::min(threads, static_cast<unsigned>(regions)));
-  threads_ = threads;
+  const unsigned threads =
+      config.threads == 0 ? std::thread::hardware_concurrency() : config.threads;
+  return std::max(1u, std::min(threads, static_cast<unsigned>(regions)));
+}
+
+ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
+    : window_(config.window > 0 ? config.window : 1 * kMillisecond),
+      threads_(ResolveThreads(config)) {
+  const int regions = std::max(1, config.regions);
   sims_.reserve(static_cast<size_t>(regions));
   for (int r = 0; r < regions; ++r) {
     sims_.push_back(std::make_unique<Simulator>(RegionSeed(config.seed, r)));
@@ -37,7 +42,7 @@ ShardedEngine::ShardedEngine(const ShardedEngineConfig& config)
 
 ShardedEngine::~ShardedEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -77,8 +82,10 @@ void ShardedEngine::WorkerLoop(unsigned tid) {
   for (;;) {
     SimTime bound;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen) {
+        lock.Wait(start_cv_);
+      }
       if (stop_) {
         return;
       }
@@ -88,7 +95,7 @@ void ShardedEngine::WorkerLoop(unsigned tid) {
     RunShare(tid, bound);
     bool last = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       last = --running_ == 0;
     }
     if (last) {
@@ -102,15 +109,17 @@ void ShardedEngine::RunWindow(SimTime bound) {
     RunShare(0, bound);
   } else {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       bound_ = bound;
       running_ = threads_ - 1;
       ++generation_;
     }
     start_cv_.notify_all();
     RunShare(threads_ - 1, bound);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return running_ == 0; });
+    MutexLock lock(mu_);
+    while (running_ != 0) {
+      lock.Wait(done_cv_);
+    }
   }
   for (size_t r = 0; r < worker_errors_.size(); ++r) {
     if (worker_errors_[r] != nullptr) {

@@ -30,12 +30,13 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/time.h"
 
 namespace diffusion {
@@ -106,41 +107,49 @@ class ShardedEngine {
   uint64_t windows_run() const { return windows_run_; }
 
  private:
+  static unsigned ResolveThreads(const ShardedEngineConfig& config);
+
   void RunShare(unsigned tid, SimTime bound);
   void RunWindow(SimTime bound);
-  void MergeTraces();
+  void MergeTraces();  // barrier thread only
   void WorkerLoop(unsigned tid);
 
-  SimDuration window_;
-  unsigned threads_;
-  std::vector<std::unique_ptr<Simulator>> sims_;
-  std::vector<uint64_t> events_by_region_;
-  RegionCoupler* coupler_ = nullptr;
+  const SimDuration window_;
+  const unsigned threads_;
+  // Each region's simulator (and its per-region slots below) is touched by
+  // exactly one worker inside a window; the barrier's mutex handoff
+  // publishes it to the next owner between windows.
+  std::vector<std::unique_ptr<Simulator>> sims_ DIFFUSION_REGION_PINNED;
+  std::vector<uint64_t> events_by_region_ DIFFUSION_REGION_PINNED;
+  RegionCoupler* coupler_ DIFFUSION_BARRIER_OWNED = nullptr;
 
-  TraceSink* merged_sink_ = nullptr;
-  std::vector<std::unique_ptr<MemoryTraceSink>> region_traces_;
+  TraceSink* merged_sink_ DIFFUSION_BARRIER_OWNED = nullptr;
+  std::vector<std::unique_ptr<MemoryTraceSink>> region_traces_ DIFFUSION_REGION_PINNED;
   struct MergeRef {
     SimTime when;
     int region;
     size_t index;
   };
-  std::vector<MergeRef> merge_scratch_;
+  std::vector<MergeRef> merge_scratch_ DIFFUSION_BARRIER_OWNED;
 
-  SimTime cursor_ = 0;  // start of the next window
-  uint64_t windows_run_ = 0;
+  SimTime cursor_ DIFFUSION_BARRIER_OWNED = 0;  // start of the next window
+  uint64_t windows_run_ DIFFUSION_BARRIER_OWNED = 0;
 
   // Barrier state. Workers advance their statically assigned regions
   // (region % threads == tid) when `generation_` moves, then decrement
   // `running_`; the mutex hand-offs give every cross-thread access to the
   // region simulators a happens-before edge in both directions.
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  uint64_t generation_ = 0;
-  SimTime bound_ = 0;
-  unsigned running_ = 0;
-  bool stop_ = false;
-  std::vector<std::exception_ptr> worker_errors_;  // per region
+  uint64_t generation_ DIFFUSION_GUARDED_BY(mu_) = 0;
+  SimTime bound_ DIFFUSION_GUARDED_BY(mu_) = 0;
+  unsigned running_ DIFFUSION_GUARDED_BY(mu_) = 0;
+  bool stop_ DIFFUSION_GUARDED_BY(mu_) = false;
+  // One slot per region, written by the region's owner inside RunShare and
+  // read by the barrier thread after the window joins — region-pinned, like
+  // the simulators whose exceptions it carries.
+  std::vector<std::exception_ptr> worker_errors_ DIFFUSION_REGION_PINNED;
   std::vector<std::thread> workers_;
 };
 

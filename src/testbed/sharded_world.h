@@ -80,6 +80,13 @@ class ShardedWorld {
   // Channel-wide counters summed over every region's channel.
   ChannelStats TotalChannelStats() const;
 
+  // Publishes the bridge's handoff/clamp counters ("bridge.*", including the
+  // per-region bridge.deliveries_clamped.r<N> family) as global metrics.
+  // Collect between windows only; the world must outlive the registry's use.
+  void RegisterBridgeMetrics(MetricsRegistry* registry) const {
+    bridge_->RegisterMetrics(registry);
+  }
+
  private:
   RegionMap map_;
   RegionLinkMatrix matrix_;

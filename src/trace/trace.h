@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/radio/position.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/time.h"
 
 namespace diffusion {
@@ -89,7 +90,12 @@ struct TraceEvent {
   }
 };
 
-// Receives every event of a traced run, in simulation-time order.
+// Receives every event of a traced run, in simulation-time order. Sink
+// implementations are thread-compatible, not thread-safe: a sink belongs to
+// one simulator (region or replicate) at a time. The sharded engine gives
+// every region a private MemoryTraceSink and touches the merged sink only on
+// the barrier thread; ReplicationPool buffers per replicate and merges after
+// the join.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -97,7 +103,7 @@ class TraceSink {
 };
 
 // In-memory sink for tests and the monitor's packet-trace queries.
-class MemoryTraceSink : public TraceSink {
+class DIFFUSION_THREAD_COMPATIBLE MemoryTraceSink : public TraceSink {
  public:
   void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
 
@@ -140,7 +146,7 @@ inline uint64_t TruncateTraceFingerprint(uint64_t hash) { return hash & ((1ULL <
 // memory, so a multi-million-event run (bench/parallel_scaling's 10k-node
 // world) can assert byte-identical traces across thread counts without
 // holding any of them.
-class FingerprintTraceSink : public TraceSink {
+class DIFFUSION_THREAD_COMPATIBLE FingerprintTraceSink : public TraceSink {
  public:
   void OnEvent(const TraceEvent& event) override {
     hash_ = FoldTraceEvent(hash_, event);

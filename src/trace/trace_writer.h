@@ -44,7 +44,9 @@ TraceSink* ResolveTraceSink(TraceSink* injected, const std::string& path,
                             std::unique_ptr<TraceWriter>* writer);
 
 // Streams events to a JSONL file. Construction truncates the target.
-class TraceWriter : public TraceSink {
+// Thread-compatible like every TraceSink: one writer per run, never shared
+// across replicate workers (ReplicationPool merges buffers after the join).
+class DIFFUSION_THREAD_COMPATIBLE TraceWriter : public TraceSink {
  public:
   explicit TraceWriter(const std::string& path);
   ~TraceWriter() override;

@@ -29,9 +29,14 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
+
 namespace diffusion {
 
-class Arena {
+// Thread-compatible: an arena belongs to one Simulator and is pinned to the
+// worker that owns that region/replicate; the sharded engine's barrier
+// publishes it between owners (docs/ARCHITECTURE.md, "Threading contract").
+class DIFFUSION_THREAD_COMPATIBLE Arena {
  public:
   explicit Arena(size_t first_block_bytes = 4096);
   ~Arena();
@@ -70,7 +75,7 @@ class Arena {
 // Size-bucketed recycling allocator. Type-erased on purpose: the simulator
 // can own one pool that serves object types from layers above it (pooled
 // message bodies) without depending on them.
-class SlotPool {
+class DIFFUSION_THREAD_COMPATIBLE SlotPool {
  public:
   explicit SlotPool(Arena* arena) : arena_(arena) {}
 

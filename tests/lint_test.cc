@@ -28,11 +28,15 @@ std::vector<std::string> RuleIds(const std::vector<Diagnostic>& diags) {
 
 TEST(LintRulesTest, CatalogIsStable) {
   const std::vector<RuleInfo>& rules = Rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 10u);
   EXPECT_STREQ(rules[0].id, "DL001");
   EXPECT_STREQ(rules[0].name, "wall-clock");
   EXPECT_STREQ(rules[5].id, "DL006");
   EXPECT_STREQ(rules[5].name, "filter-drop");
+  EXPECT_STREQ(rules[6].id, "DL007");
+  EXPECT_STREQ(rules[6].name, "pooled-body-cross-thread");
+  EXPECT_STREQ(rules[9].id, "DL010");
+  EXPECT_STREQ(rules[9].name, "thread-outside-sim");
 }
 
 TEST(LintRulesTest, WallClockFlaggedInSrcNotBench) {
@@ -144,6 +148,85 @@ TEST(LintRulesTest, FilterCallbackMustSendOrDocumentDrop) {
   EXPECT_EQ(RuleIds(LintContent("src/x.cc", swallow)), std::vector<std::string>{"DL006"});
   EXPECT_TRUE(LintContent("src/x.cc", documented).empty());
   EXPECT_TRUE(LintContent("src/x.cc", reinjects).empty());
+}
+
+TEST(LintRulesTest, PooledBodyInCrossThreadStruct) {
+  const std::string bad =
+      "struct BorderFrame {\n"
+      "  BodyRef body;\n"
+      "};\n";
+  const std::string local_struct =
+      "struct DeliveryRecord {\n"
+      "  BodyRef body;\n"
+      "};\n";
+  // The flatten lives in the sibling .cc: evidence there clears the header.
+  const std::string flatten_sibling =
+      "void Pool::Post(const Fragment& fragment) {\n"
+      "  out.body = BodyRef();\n"
+      "  fragment.body->AppendBytes(&scratch);\n"
+      "}\n";
+  EXPECT_EQ(RuleIds(LintContent("src/x.h", bad)), std::vector<std::string>{"DL007"});
+  EXPECT_TRUE(LintContent("src/x.h", local_struct).empty());
+  EXPECT_TRUE(LintContent("src/x.h", bad, flatten_sibling).empty());
+}
+
+TEST(LintRulesTest, ConcurrentClassMembersMustDeclareProtection) {
+  const std::string bad =
+      "class Engine {\n"
+      "  std::mutex mu_;\n"
+      "  uint64_t windows_ = 0;\n"
+      "};\n";
+  const std::string annotated =
+      "class Engine {\n"
+      "  std::mutex mu_;\n"
+      "  uint64_t generation_ DIFFUSION_GUARDED_BY(mu_) = 0;\n"
+      "  std::vector<int> events_ DIFFUSION_REGION_PINNED;\n"
+      "  uint64_t cursor_ DIFFUSION_BARRIER_OWNED = 0;\n"
+      "  const unsigned threads_ = 1;\n"
+      "  std::atomic<bool> stop_{false};\n"
+      "};\n";
+  const std::string no_primitive =
+      "class Ledger {\n"
+      "  uint64_t balance_ = 0;\n"
+      "};\n";
+  EXPECT_EQ(RuleIds(LintContent("src/x.h", bad)), std::vector<std::string>{"DL008"});
+  EXPECT_TRUE(LintContent("src/x.h", annotated).empty());
+  EXPECT_TRUE(LintContent("src/x.h", no_primitive).empty());
+}
+
+TEST(LintRulesTest, MailboxPostsWithOneSourceSymbol) {
+  const std::string bad =
+      "void Bridge::Run(int src_region, uint64_t sender) {\n"
+      "  pool_.Post(src_region, 1, sender);\n"
+      "  pool_.Post(0, 1, sender);\n"
+      "}\n";
+  const std::string single =
+      "void Bridge::Run(int src_region, uint64_t sender) {\n"
+      "  pool_.Post(src_region, 1, sender);\n"
+      "  pool_.Post(src_region, 2, sender);\n"
+      "}\n";
+  const std::string not_a_mailbox =
+      "void Bridge::Run(uint64_t sender) {\n"
+      "  queue_.Post(1, sender);\n"
+      "  queue_.Post(2, sender);\n"
+      "}\n";
+  EXPECT_EQ(RuleIds(LintContent("src/x.cc", bad)), std::vector<std::string>{"DL009"});
+  EXPECT_TRUE(LintContent("src/x.cc", single).empty());
+  EXPECT_TRUE(LintContent("src/x.cc", not_a_mailbox).empty());
+}
+
+TEST(LintRulesTest, ThreadCreationOnlyInsideSimCore) {
+  const std::string spawn = "std::thread worker([] { Work(); });\n";
+  const std::string pinned = "thread_local int counter = 0;\n";
+  const std::string id_only = "std::thread::id owner = std::this_thread::get_id();\n";
+  EXPECT_EQ(RuleIds(LintContent("src/radio/x.cc", spawn)),
+            std::vector<std::string>{"DL010"});
+  EXPECT_EQ(RuleIds(LintContent("src/radio/x.cc", pinned)),
+            std::vector<std::string>{"DL010"});
+  // The simulation core owns its workers; thread::id is a plain value.
+  EXPECT_TRUE(LintContent("src/sim/engine.cc", spawn).empty());
+  EXPECT_TRUE(LintContent("src/radio/x.cc", id_only).empty());
+  EXPECT_TRUE(LintContent("bench/x.cc", spawn).empty());
 }
 
 TEST(LintRenderTest, StableFormat) {

@@ -12,6 +12,8 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -24,7 +26,18 @@
 #include "src/sim/sharded_engine.h"
 #include "src/testbed/sharded_world.h"
 #include "src/testbed/topology.h"
+#include "src/trace/metrics.h"
 #include "src/trace/trace.h"
+
+// Death tests fork (or clone) the process; TSan instrumented binaries do not
+// support that, and the parallel suite runs under TSan in CI.
+#if defined(__SANITIZE_THREAD__)
+#define DIFFUSION_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DIFFUSION_TEST_TSAN 1
+#endif
+#endif
 
 namespace diffusion {
 namespace {
@@ -113,6 +126,10 @@ TEST(RegionSeedTest, RegionZeroKeepsRunSeed) {
 
 TEST(RegionMailboxTest, DrainMergesAcrossSourcesInOrder) {
   RegionMailboxPool pool(3);
+  // The test thread legitimately plays both sides of the barrier: with no
+  // engine running, every call here happens "between windows".
+  pool.writer_role().Assert();
+  pool.barrier_role().Assert();
   pool.Link(0, 1);
   pool.Link(2, 1);
 
@@ -161,6 +178,8 @@ class TestWireBody final : public WireBody {
 
 TEST(RegionMailboxTest, FlattensZeroCopyBodies) {
   RegionMailboxPool pool(2);
+  pool.writer_role().Assert();
+  pool.barrier_role().Assert();
   pool.Link(0, 1);
 
   // A fragment riding a zero-copy body must arrive as plain bytes: its slice
@@ -177,6 +196,37 @@ TEST(RegionMailboxTest, FlattensZeroCopyBodies) {
   ASSERT_EQ(drained.size(), 1u);
   EXPECT_FALSE(drained[0]->fragment.body);
   EXPECT_EQ(drained[0]->fragment.payload, std::vector<uint8_t>({7, 6, 5}));
+}
+
+// Pins the invariant diffusion-lint DL009 checks statically and the clang
+// writer-role annotation checks at compile time: a second thread posting
+// into the same (src, dst) mailbox within one window trips the dynamic
+// owner check in RegionMailboxPool::Post and aborts.
+TEST(RegionMailboxDeathTest, SecondWriterTripsOwnerCheck) {
+#if defined(DIFFUSION_TEST_TSAN)
+  GTEST_SKIP() << "death tests are unsupported under TSan";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RegionMailboxPool pool(2);
+  pool.writer_role().Assert();
+  pool.barrier_role().Assert();
+  pool.Link(0, 1);
+  Fragment fragment;
+  fragment.payload = {1};
+  pool.Post(0, 1, 1, fragment, 10, 5);  // pins the mailbox to this thread
+  EXPECT_DEATH(
+      {
+        // In threadsafe style the child re-runs the test body, so the Post
+        // above pinned the mailbox to the child's main thread; this fresh
+        // thread is necessarily a second writer.
+        std::thread second([&pool, &fragment] {
+          pool.writer_role().Assert();
+          pool.Post(0, 1, 2, fragment, 20, 5);
+        });
+        second.join();
+      },
+      "single-writer violation");
+#endif
 }
 
 // The apps of the differential runs: one surveillance sink in one corner,
@@ -357,6 +407,43 @@ TEST(ShardedWorldTest, CrashMidWindowIsDeterministic) {
   const RunDigest four = RunShardedGrid(layout, 4, 4, 5, end, 20 * kSecond, victim);
   EXPECT_GT(one.trace_events, 0u);
   EXPECT_TRUE(one == four);
+}
+
+TEST(ShardedWorldTest, BridgeMetricsExposePerRegionClamps) {
+  // A window much longer than frame airtime forces clamped deliveries; the
+  // bridge publishes the totals and the per-region breakdown as globals.
+  const TestbedLayout layout = GridLayout(6, 6, 10.0, 12.0);
+  ShardedWorldParams params;
+  params.regions = 4;
+  params.threads = 1;
+  params.seed = 9;
+  params.window = 50 * kMillisecond;
+  ShardedWorld world(layout, params);
+  ASSERT_EQ(world.region_map().regions(), 4);
+
+  GridApps apps = StartApps(world.node(1), {world.node(36), world.node(31)});
+  world.RunUntil(30 * kSecond);
+
+  MetricsRegistry registry;
+  world.RegisterBridgeMetrics(&registry);
+  const std::map<std::string, double> globals = registry.CollectGlobal();
+
+  ASSERT_TRUE(globals.count("bridge.frames_handed_off"));
+  ASSERT_TRUE(globals.count("bridge.deliveries_clamped"));
+  EXPECT_EQ(globals.at("bridge.frames_handed_off"),
+            static_cast<double>(world.bridge().frames_handed_off()));
+  EXPECT_GT(world.bridge().deliveries_clamped(), 0u);
+
+  double per_region_sum = 0;
+  for (int region = 0; region < world.region_map().regions(); ++region) {
+    const std::string key = "bridge.deliveries_clamped.r" + std::to_string(region);
+    ASSERT_TRUE(globals.count(key)) << key;
+    EXPECT_EQ(globals.at(key),
+              static_cast<double>(world.bridge().deliveries_clamped_in(region)));
+    per_region_sum += globals.at(key);
+  }
+  EXPECT_EQ(per_region_sum, globals.at("bridge.deliveries_clamped"));
+  EXPECT_EQ(per_region_sum, static_cast<double>(world.bridge().deliveries_clamped()));
 }
 
 TEST(ShardedEngineTest, WindowsAdvanceAllRegions) {

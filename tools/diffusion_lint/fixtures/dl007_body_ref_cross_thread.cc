@@ -1,0 +1,35 @@
+// diffusion-lint: scope(src)
+// DL007 fixture: pooled/zero-copy payload types stored in a cross-thread
+// struct. A BodyRef's refcount is deliberately non-atomic and its storage
+// belongs to the source region's SlotPool, so a Border*/Mailbox*/Handoff*
+// struct may only hold one if the posting path flattens the bytes first.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct BodyRef {
+  void* body = nullptr;
+};
+
+// Violation: a border-crossing frame that carries the pooled reference
+// itself, with no flatten anywhere in this file.
+struct BorderFrame {
+  int64_t start = 0;
+  BodyRef body;  // finding
+  std::vector<uint8_t> payload;
+};
+
+// Suppressed: the author promises the ref is only read on the source side.
+struct HandoffRecord {
+  // diffusion-lint: allow(DL007)
+  BodyRef body;
+};
+
+// Clean: a struct that is not named like a cross-thread container may hold
+// the reference (it never leaves its owning region).
+struct LocalRecord {
+  BodyRef body;
+};
+
+}  // namespace fixture

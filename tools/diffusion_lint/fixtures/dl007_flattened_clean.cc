@@ -1,0 +1,35 @@
+// diffusion-lint: scope(src)
+// DL007 clean fixture: the cross-thread struct holds a Fragment, but the
+// posting path materializes the pooled body's bytes into the slot
+// (AppendBytes) and resets the reference (= BodyRef()), so nothing pooled
+// crosses the thread boundary. Zero findings.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct BodyRef {
+  void* body = nullptr;
+  explicit operator bool() const { return body != nullptr; }
+};
+
+struct Fragment {
+  BodyRef body;
+  std::vector<uint8_t> payload;
+  void AppendBytes(std::vector<uint8_t>* out) const { out->insert(out->end(), 3, 0); }
+};
+
+struct BorderFrame {
+  int64_t start = 0;
+  Fragment fragment;
+};
+
+void PostFlattened(BorderFrame* slot, const Fragment& fragment) {
+  Fragment& out = slot->fragment;
+  out.body = BodyRef();
+  std::vector<uint8_t> scratch;
+  fragment.AppendBytes(&scratch);
+  out.payload = scratch;
+}
+
+}  // namespace fixture

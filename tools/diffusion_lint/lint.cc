@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -297,6 +298,284 @@ size_t MatchDelimiter(const std::string& code, size_t open) {
   return std::string::npos;
 }
 
+// ---- symbol harvesting (class definitions + data members) ----------------
+//
+// The concurrency rules (DL007-DL009) need to know which class a member
+// belongs to, not just that a token occurs somewhere in the file. This is a
+// lightweight per-file symbol table in the same lexical spirit as the rest
+// of the linter: class bodies are found by brace matching, and the depth-1
+// statements of a body that are not functions, nested types or access
+// labels are its data members.
+
+struct ClassDef {
+  std::string name;
+  size_t open = 0;   // offset of the body's '{'
+  size_t close = 0;  // offset of the matching '}'
+  int line = 0;      // line of the class-head keyword
+};
+
+struct MemberDecl {
+  std::string text;         // declaration text with annotation macros removed
+  std::string annotations;  // space-joined DIFFUSION_* macro names stripped out
+  int line = 0;
+};
+
+// Class/struct definitions anywhere in the file, including nested ones. The
+// class head may carry alignas(...), DIFFUSION_* annotation macros, `final`
+// and a base clause; forward declarations and `template <class T>`
+// parameters are skipped.
+std::vector<ClassDef> FindClassDefs(const Preprocessed& pp) {
+  std::vector<ClassDef> defs;
+  const std::string& code = pp.code;
+  for (const char* keyword : {"class", "struct"}) {
+    const size_t len = std::char_traits<char>::length(keyword);
+    size_t at = code.find(keyword);
+    while (at != std::string::npos) {
+      const size_t next_at = code.find(keyword, at + 1);
+      const bool word_ok = (at == 0 || !IsIdentChar(code[at - 1])) &&
+                           (at + len < code.size() && !IsIdentChar(code[at + len]));
+      if (!word_ok) {
+        at = next_at;
+        continue;
+      }
+      // Not a definition: `enum class`, and `<class T, class U>` template
+      // parameter lists.
+      size_t before = at;
+      while (before > 0 && std::isspace(static_cast<unsigned char>(code[before - 1]))) {
+        --before;
+      }
+      size_t word_begin = before;
+      while (word_begin > 0 && IsIdentChar(code[word_begin - 1])) {
+        --word_begin;
+      }
+      const std::string prev_word = code.substr(word_begin, before - word_begin);
+      const char prev_char = before > 0 ? code[before - 1] : '\0';
+      if (prev_word == "enum" || prev_char == '<' || prev_char == ',') {
+        at = next_at;
+        continue;
+      }
+      // The class name: the first identifier after the keyword that is not
+      // alignas(...) or a DIFFUSION_* macro.
+      size_t i = at + len;
+      std::string name;
+      while (i < code.size()) {
+        while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) {
+          ++i;
+        }
+        if (i >= code.size() || !IsIdentChar(code[i])) {
+          break;
+        }
+        size_t end = i;
+        while (end < code.size() && IsIdentChar(code[end])) {
+          ++end;
+        }
+        const std::string word = code.substr(i, end - i);
+        i = end;
+        if (word == "alignas" || word.compare(0, 10, "DIFFUSION_") == 0) {
+          while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) {
+            ++i;
+          }
+          if (i < code.size() && code[i] == '(') {
+            const size_t args_close = MatchDelimiter(code, i);
+            if (args_close == std::string::npos) {
+              break;
+            }
+            i = args_close + 1;
+          }
+          continue;
+        }
+        name = word;
+        break;
+      }
+      if (name.empty()) {
+        at = next_at;
+        continue;
+      }
+      // A body '{' before any ';' makes it a definition.
+      size_t open = std::string::npos;
+      for (size_t scan = i; scan < code.size(); ++scan) {
+        if (code[scan] == '{') {
+          open = scan;
+          break;
+        }
+        if (code[scan] == ';') {
+          break;
+        }
+      }
+      if (open != std::string::npos) {
+        const size_t body_close = MatchDelimiter(code, open);
+        if (body_close != std::string::npos) {
+          defs.push_back(ClassDef{name, open, body_close, pp.LineAt(at)});
+        }
+      }
+      at = next_at;
+    }
+  }
+  std::sort(defs.begin(), defs.end(),
+            [](const ClassDef& a, const ClassDef& b) { return a.open < b.open; });
+  return defs;
+}
+
+std::string FirstWord(const std::string& text) {
+  size_t begin = 0;
+  while (begin < text.size() && !IsIdentChar(text[begin])) {
+    ++begin;
+  }
+  size_t end = begin;
+  while (end < text.size() && IsIdentChar(text[end])) {
+    ++end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+// The declared name: the last identifier before the initializer (if any).
+std::string MemberName(const std::string& text) {
+  size_t end = std::min(text.find('='), text.find('{'));
+  if (end == std::string::npos) {
+    end = text.size();
+  }
+  while (end > 0 && !IsIdentChar(text[end - 1])) {
+    --end;
+  }
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(text[begin - 1])) {
+    --begin;
+  }
+  return text.substr(begin, end - begin);
+}
+
+void ProcessMemberStatement(const Preprocessed& pp, std::string text, size_t offset,
+                            std::vector<MemberDecl>* members) {
+  const size_t first = text.find_first_not_of(" \t\n");
+  if (first == std::string::npos) {
+    return;
+  }
+  const int line = pp.LineAt(offset + first);
+  // Split out annotation macros so an annotated member still parses as
+  // (type, name) and so the '(' of DIFFUSION_GUARDED_BY(mu_) does not make
+  // the member look like a function declaration.
+  std::string annotations;
+  size_t at = text.find("DIFFUSION_");
+  while (at != std::string::npos) {
+    if (at > 0 && IsIdentChar(text[at - 1])) {
+      at = text.find("DIFFUSION_", at + 1);
+      continue;
+    }
+    size_t end = at;
+    while (end < text.size() && IsIdentChar(text[end])) {
+      ++end;
+    }
+    size_t erase_end = end;
+    size_t paren = end;
+    while (paren < text.size() && std::isspace(static_cast<unsigned char>(text[paren]))) {
+      ++paren;
+    }
+    if (paren < text.size() && text[paren] == '(') {
+      const size_t close = MatchDelimiter(text, paren);
+      if (close != std::string::npos) {
+        erase_end = close + 1;
+      }
+    }
+    if (!annotations.empty()) {
+      annotations += " ";
+    }
+    annotations += text.substr(at, end - at);
+    text.erase(at, erase_end - at);
+    at = text.find("DIFFUSION_", at);
+  }
+  for (const char* label : {"public:", "private:", "protected:"}) {
+    size_t l = text.find(label);
+    while (l != std::string::npos) {
+      text.erase(l, std::char_traits<char>::length(label));
+      l = text.find(label);
+    }
+  }
+  const size_t begin = text.find_first_not_of(" \t\n");
+  if (begin == std::string::npos) {
+    return;
+  }
+  const size_t last = text.find_last_not_of(" \t\n");
+  text = text.substr(begin, last - begin + 1);
+  static const std::set<std::string> kNonMemberLead = {
+      "struct", "class",  "enum",     "union",    "using",       "friend",
+      "typedef", "template", "static_assert", "operator"};
+  if (kNonMemberLead.count(FirstWord(text)) > 0) {
+    return;
+  }
+  if (text.find('(') != std::string::npos || text.find("operator") != std::string::npos) {
+    return;  // function declaration/definition
+  }
+  members->push_back(MemberDecl{text, annotations, line});
+}
+
+// Data members declared at depth 1 of `cls`'s body.
+std::vector<MemberDecl> HarvestMembers(const Preprocessed& pp, const ClassDef& cls) {
+  std::vector<MemberDecl> members;
+  const std::string& code = pp.code;
+  size_t stmt = cls.open + 1;
+  size_t i = cls.open + 1;
+  while (i < cls.close) {
+    const char c = code[i];
+    if (c == '(' || c == '[') {
+      const size_t end = MatchDelimiter(code, i);
+      if (end == std::string::npos || end > cls.close) {
+        break;
+      }
+      i = end + 1;
+      continue;
+    }
+    if (c == '{') {
+      // Function body, nested type body, or brace initializer: either way
+      // the declaration's (type, name) part is already behind us.
+      const size_t end = MatchDelimiter(code, i);
+      if (end == std::string::npos || end > cls.close) {
+        break;
+      }
+      ProcessMemberStatement(pp, code.substr(stmt, i - stmt), stmt, &members);
+      i = end + 1;
+      while (i < cls.close && std::isspace(static_cast<unsigned char>(code[i]))) {
+        ++i;
+      }
+      if (i < cls.close && code[i] == ';') {
+        ++i;
+      }
+      stmt = i;
+      continue;
+    }
+    if (c == ';') {
+      ProcessMemberStatement(pp, code.substr(stmt, i - stmt), stmt, &members);
+      stmt = i + 1;
+    }
+    ++i;
+  }
+  return members;
+}
+
+bool ContainsWord(const std::string& text, const std::string& word);
+
+// A member whose type is a synchronization/thread primitive: owning one makes
+// the class a concurrency boundary (DL008's trigger), and the primitive
+// itself needs no annotation. std::thread::id is a plain value, not a
+// primitive.
+bool IsConcurrencyPrimitive(const std::string& text) {
+  if (ContainsWord(text, "Mutex") || ContainsWord(text, "condition_variable") ||
+      ContainsWord(text, "jthread")) {
+    return true;
+  }
+  if (text.find("std::mutex") != std::string::npos) {
+    return true;
+  }
+  size_t at = text.find("std::thread");
+  while (at != std::string::npos) {
+    const size_t after = at + std::char_traits<char>::length("std::thread");
+    if (after >= text.size() || (text[after] != ':' && !IsIdentChar(text[after]))) {
+      return true;
+    }
+    at = text.find("std::thread", at + 1);
+  }
+  return false;
+}
+
 // ---- rules ---------------------------------------------------------------
 
 const RuleInfo kRules[] = {
@@ -310,6 +589,16 @@ const RuleInfo kRules[] = {
     {"DL005", "raw-new-delete", "raw new/delete outside a designated allocator"},
     {"DL006", "filter-drop",
      "filter callback path that neither re-injects the message nor documents a drop"},
+    {"DL007", "pooled-body-cross-thread",
+     "pooled/zero-copy payload stored in a cross-thread struct without a flatten in the "
+     "posting path"},
+    {"DL008", "unannotated-concurrent-member",
+     "mutable member of a thread-owning class that is neither const, atomic, annotated, "
+     "nor ownership-marked"},
+    {"DL009", "mailbox-multi-writer",
+     "mailbox Post() called with more than one source symbol in one file (single-writer)"},
+    {"DL010", "thread-outside-sim",
+     "thread creation or thread-local state outside the simulation core (src/sim)"},
 };
 
 void Emit(std::vector<Diagnostic>* out, const std::string& file, int line, const RuleInfo& rule,
@@ -435,14 +724,13 @@ bool ContainsWord(const std::string& text, const std::string& word) {
 // DL003 — the replication harness promises byte-identical trace/bench output
 // at any --jobs count; unordered iteration order reaching a sink breaks it.
 void CheckUnorderedTraceIteration(const std::string& file, const Preprocessed& pp,
-                                  const std::string& sibling_header,
+                                  const Preprocessed* sibling,
                                   std::vector<Diagnostic>* out) {
   static const char* kSinkTokens[] = {"Trace(",      "TraceEvent", "TraceSink",
                                       "OnEvent",     "BenchResult", "BenchJson"};
   std::set<std::string> unordered_names = HarvestUnorderedNames(pp.code);
-  if (!sibling_header.empty()) {
-    const Preprocessed header = Preprocess(sibling_header);
-    for (const std::string& name : HarvestUnorderedNames(header.code)) {
+  if (sibling != nullptr) {
+    for (const std::string& name : HarvestUnorderedNames(sibling->code)) {
       unordered_names.insert(name);
     }
   }
@@ -738,6 +1026,225 @@ void CheckFilterDrop(const std::string& file, const Preprocessed& pp,
   }
 }
 
+// DL007 — a pooled / zero-copy payload (BodyRef, WireBody, a Fragment that
+// may ride one) has a non-atomic refcount and region-pinned storage, so a
+// struct built to cross threads (Border*/Mailbox*/Handoff*/CrossThread*)
+// must only hold it if the posting path materializes the bytes first
+// (AppendBytes/Flatten into the slot, body reset to `= BodyRef()`).
+void CheckBodyRefCrossThread(const std::string& file, const Preprocessed& pp,
+                             const Preprocessed* sibling, std::vector<Diagnostic>* out) {
+  static const std::regex kCrossThreadRe("Border|Mailbox|Handoff|CrossThread");
+  static const char* kPayloadTypes[] = {"BodyRef", "WireBody", "Fragment"};
+  auto has_flatten = [](const std::string& code) {
+    return code.find("AppendBytes(") != std::string::npos ||
+           code.find("Flatten(") != std::string::npos ||
+           code.find("= BodyRef()") != std::string::npos;
+  };
+  bool evidence_known = false;
+  bool evidence = false;
+  for (const ClassDef& cls : FindClassDefs(pp)) {
+    if (!std::regex_search(cls.name, kCrossThreadRe)) {
+      continue;
+    }
+    for (const MemberDecl& member : HarvestMembers(pp, cls)) {
+      const char* payload = nullptr;
+      for (const char* type : kPayloadTypes) {
+        if (ContainsWord(member.text, type)) {
+          payload = type;
+          break;
+        }
+      }
+      if (payload == nullptr) {
+        continue;
+      }
+      if (!evidence_known) {
+        evidence = has_flatten(pp.code) || (sibling != nullptr && has_flatten(sibling->code));
+        evidence_known = true;
+      }
+      if (!evidence) {
+        Emit(out, file, member.line, kRules[6],
+             "cross-thread struct '" + cls.name + "' stores pooled payload type '" +
+                 std::string(payload) +
+                 "' but no flatten (AppendBytes/Flatten/= BodyRef()) appears in the posting "
+                 "path; materialize the bytes before the frame crosses threads");
+      }
+    }
+  }
+}
+
+// DL008 — a class that owns a mutex, a condition variable or threads is a
+// concurrency boundary: every other data member must declare its protection.
+// Accepted: const, std::atomic, DIFFUSION_GUARDED_BY/PT_GUARDED_BY a
+// capability, or an ownership marker (DIFFUSION_REGION_PINNED /
+// DIFFUSION_BARRIER_OWNED) naming the handoff discipline instead.
+void CheckUnannotatedConcurrentMembers(const std::string& file, const Preprocessed& pp,
+                                       Scope scope, std::vector<Diagnostic>* out) {
+  if (scope != Scope::kSrc) {
+    return;
+  }
+  for (const ClassDef& cls : FindClassDefs(pp)) {
+    const std::vector<MemberDecl> members = HarvestMembers(pp, cls);
+    bool concurrent = false;
+    for (const MemberDecl& member : members) {
+      if (IsConcurrencyPrimitive(member.text)) {
+        concurrent = true;
+        break;
+      }
+    }
+    if (!concurrent) {
+      continue;
+    }
+    for (const MemberDecl& member : members) {
+      if (IsConcurrencyPrimitive(member.text)) {
+        continue;  // the primitive itself is the boundary, not guarded data
+      }
+      if (!member.annotations.empty()) {
+        continue;
+      }
+      size_t head_end = std::min(member.text.find('='), member.text.find('{'));
+      if (head_end == std::string::npos) {
+        head_end = member.text.size();
+      }
+      const std::string head = member.text.substr(0, head_end);
+      if (ContainsWord(head, "const") || ContainsWord(head, "atomic")) {
+        continue;
+      }
+      Emit(out, file, member.line, kRules[7],
+           "member '" + MemberName(member.text) + "' of thread-owning class '" + cls.name +
+               "' is neither const, atomic, DIFFUSION_GUARDED_BY a capability, nor "
+               "ownership-marked (DIFFUSION_REGION_PINNED / DIFFUSION_BARRIER_OWNED)");
+    }
+  }
+}
+
+// DL009 — each (src, dst) mailbox has exactly one writer per window. A file
+// whose Post() calls name more than one source symbol is one component
+// posting on behalf of several regions — the single-writer contract the
+// dynamic owner check in RegionMailboxPool::Post aborts on at runtime.
+// Tests legitimately post several literal regions from one thread, so the
+// rule applies to src/ only.
+void CheckMailboxSingleWriter(const std::string& file, const Preprocessed& pp, Scope scope,
+                              std::vector<Diagnostic>* out) {
+  if (scope != Scope::kSrc) {
+    return;
+  }
+  const std::string& code = pp.code;
+  struct PostSite {
+    std::string arg;
+    int line;
+  };
+  std::vector<PostSite> sites;
+  size_t at = code.find("Post(");
+  while (at != std::string::npos) {
+    if (at > 0 && IsIdentChar(code[at - 1])) {
+      at = code.find("Post(", at + 1);
+      continue;
+    }
+    size_t obj_end;
+    if (at >= 1 && code[at - 1] == '.') {
+      obj_end = at - 1;
+    } else if (at >= 2 && code[at - 2] == '-' && code[at - 1] == '>') {
+      obj_end = at - 2;
+    } else {
+      at = code.find("Post(", at + 1);
+      continue;
+    }
+    size_t obj_begin = obj_end;
+    while (obj_begin > 0 && IsIdentChar(code[obj_begin - 1])) {
+      --obj_begin;
+    }
+    std::string object = code.substr(obj_begin, obj_end - obj_begin);
+    std::transform(object.begin(), object.end(), object.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (object.find("pool") == std::string::npos &&
+        object.find("mailbox") == std::string::npos) {
+      at = code.find("Post(", at + 1);
+      continue;
+    }
+    const size_t open = at + std::char_traits<char>::length("Post");
+    const size_t close = MatchDelimiter(code, open);
+    if (close == std::string::npos) {
+      break;
+    }
+    // First argument — the source region symbol — at nesting depth 0.
+    std::string arg;
+    int depth = 0;
+    for (size_t i = open + 1; i < close; ++i) {
+      const char c = code[i];
+      if (c == '(' || c == '[' || c == '{' || c == '<') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}' || c == '>') {
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        arg += c;
+      }
+    }
+    sites.push_back(PostSite{arg, pp.LineAt(at)});
+    at = code.find("Post(", close);
+  }
+  if (sites.size() < 2) {
+    return;
+  }
+  const std::string& first = sites.front().arg;
+  std::set<std::string> reported;
+  for (const PostSite& site : sites) {
+    if (site.arg == first || reported.count(site.arg) > 0) {
+      continue;
+    }
+    reported.insert(site.arg);
+    Emit(out, file, site.line, kRules[8],
+         "mailbox posted with source '" + site.arg + "' while this file also posts with "
+         "source '" + first + "'; a (src, dst) mailbox has exactly one writer per window");
+  }
+}
+
+// DL010 — determinism depends on the engine owning every thread: workers are
+// spawned by ShardedEngine and ReplicationPool (src/sim) and nowhere else,
+// and no state may be pinned per-OS-thread (thread_local breaks replay when
+// the worker count changes). std::thread::id is a plain value and fine.
+void CheckThreadOutsideSim(const std::string& file, const Preprocessed& pp, Scope scope,
+                           std::vector<Diagnostic>* out) {
+  if (scope != Scope::kSrc) {
+    return;
+  }
+  if (("/" + file).find("/src/sim/") != std::string::npos) {
+    return;
+  }
+  const std::string& code = pp.code;
+  auto flag = [&](int line, const std::string& what) {
+    Emit(out, file, line, kRules[9],
+         "'" + what + "' creates or pins a thread outside the simulation core; thread "
+         "ownership belongs to src/sim (ShardedEngine workers, ReplicationPool)");
+  };
+  size_t at = code.find("std::thread");
+  while (at != std::string::npos) {
+    const size_t after = at + std::char_traits<char>::length("std::thread");
+    const bool word_ok = at == 0 || !IsIdentChar(code[at - 1]);
+    if (word_ok && (after >= code.size() || (code[after] != ':' && !IsIdentChar(code[after])))) {
+      flag(pp.LineAt(at), "std::thread");
+    }
+    at = code.find("std::thread", at + 1);
+  }
+  static const std::vector<Token> kTokens = {
+      {"thread_local", true, true, false},
+      {"jthread", true, true, false},
+      {"std::async", false, true, false},
+  };
+  for (const auto& [line, token] : FindTokens(pp, kTokens)) {
+    flag(line, token);
+  }
+  for (const char* needle : {".detach(", "->detach("}) {
+    size_t hit = code.find(needle);
+    while (hit != std::string::npos) {
+      flag(pp.LineAt(hit), "detach");
+      hit = code.find(needle, hit + 1);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -751,18 +1258,26 @@ std::string Render(const Diagnostic& diagnostic) {
 }
 
 std::vector<Diagnostic> LintContent(const std::string& path, const std::string& content,
-                                    const std::string& sibling_header) {
+                                    const std::string& sibling) {
   const Preprocessed pp = Preprocess(content);
   const Scope scope = EffectiveScope(path, pp);
   const std::vector<std::set<std::string>> allowed = CollectSuppressions(pp);
+  std::unique_ptr<Preprocessed> sibling_pp;
+  if (!sibling.empty()) {
+    sibling_pp = std::make_unique<Preprocessed>(Preprocess(sibling));
+  }
 
   std::vector<Diagnostic> diagnostics;
   CheckWallClock(path, pp, scope, &diagnostics);
   CheckUnseededRng(path, pp, &diagnostics);
-  CheckUnorderedTraceIteration(path, pp, sibling_header, &diagnostics);
+  CheckUnorderedTraceIteration(path, pp, sibling_pp.get(), &diagnostics);
   CheckIgnoredResult(path, pp, &diagnostics);
   CheckRawNewDelete(path, pp, &diagnostics);
   CheckFilterDrop(path, pp, &diagnostics);
+  CheckBodyRefCrossThread(path, pp, sibling_pp.get(), &diagnostics);
+  CheckUnannotatedConcurrentMembers(path, pp, scope, &diagnostics);
+  CheckMailboxSingleWriter(path, pp, scope, &diagnostics);
+  CheckThreadOutsideSim(path, pp, scope, &diagnostics);
 
   diagnostics.erase(
       std::remove_if(diagnostics.begin(), diagnostics.end(),
@@ -793,17 +1308,26 @@ bool LintFile(const std::string& path, std::vector<Diagnostic>* out) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  std::string sibling_header;
+  // The paired file: foo.h for foo.cc and foo.cc for foo.h. Member
+  // declarations there feed the unordered-container analysis, and flatten
+  // evidence there satisfies DL007 for structs declared in the header.
+  std::string sibling_path;
   if (path.size() > 3 && path.compare(path.size() - 3, 3, ".cc") == 0) {
-    std::ifstream header(path.substr(0, path.size() - 3) + ".h");
-    if (header) {
-      std::stringstream header_buffer;
-      header_buffer << header.rdbuf();
-      sibling_header = header_buffer.str();
+    sibling_path = path.substr(0, path.size() - 3) + ".h";
+  } else if (path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0) {
+    sibling_path = path.substr(0, path.size() - 2) + ".cc";
+  }
+  std::string sibling;
+  if (!sibling_path.empty()) {
+    std::ifstream sibling_in(sibling_path);
+    if (sibling_in) {
+      std::stringstream sibling_buffer;
+      sibling_buffer << sibling_in.rdbuf();
+      sibling = sibling_buffer.str();
     }
   }
 
-  std::vector<Diagnostic> diagnostics = LintContent(path, buffer.str(), sibling_header);
+  std::vector<Diagnostic> diagnostics = LintContent(path, buffer.str(), sibling);
   out->insert(out->end(), diagnostics.begin(), diagnostics.end());
   return true;
 }

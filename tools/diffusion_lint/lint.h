@@ -6,7 +6,12 @@
 // order from unordered containers may reach a sink), ApiResult must never be
 // silently ignored, allocation goes through owned containers rather than raw
 // new/delete, and a filter callback owns the message it is handed — every
-// path must re-inject it or deliberately drop it (§2.3 of the paper).
+// path must re-inject it or deliberately drop it (§2.3 of the paper). The
+// sharded parallel core adds ownership contracts (DL007-DL010): pooled
+// zero-copy payloads must be flattened before crossing threads, members of
+// thread-owning classes must declare their protection (const / atomic /
+// DIFFUSION_* annotations from src/util/thread_annotations.h), region
+// mailboxes have exactly one writer, and only src/sim may own threads.
 // diffusion-lint encodes those contracts as lexical rules cheap enough to run
 // on every build.
 //
@@ -63,13 +68,13 @@ struct Diagnostic {
 std::string Render(const Diagnostic& diagnostic);
 
 // Lints one file's contents. `path` is used for scope classification and
-// diagnostics; `sibling_header` optionally carries the contents of the paired
-// header (foo.h for foo.cc) so member declarations there feed the
-// unordered-container analysis of the .cc.
+// diagnostics; `sibling` optionally carries the contents of the paired file
+// (foo.h for foo.cc, foo.cc for foo.h) so member declarations there feed the
+// unordered-container analysis and flatten evidence there satisfies DL007.
 std::vector<Diagnostic> LintContent(const std::string& path, const std::string& content,
-                                    const std::string& sibling_header = std::string());
+                                    const std::string& sibling = std::string());
 
-// Reads and lints `path`, loading the sibling header automatically. Returns
+// Reads and lints `path`, loading the sibling file automatically. Returns
 // false only when the file cannot be read.
 bool LintFile(const std::string& path, std::vector<Diagnostic>* out);
 
